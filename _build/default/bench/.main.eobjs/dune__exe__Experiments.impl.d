@@ -1,0 +1,1 @@
+bench/experiments.ml: Bitutil Format Fun Int64 List Netdebug Osnt P4ir Packet Printf Sdnet Stats String Symexec Target

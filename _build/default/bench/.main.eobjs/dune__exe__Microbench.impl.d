@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Benchmark Bitutil Format Hashtbl Instance List Measure Netdebug P4ir Packet Printf Sdnet Staged Stats String Symexec Target Test Time Toolkit

@@ -1,0 +1,28 @@
+(* Benchmark/experiment driver.
+
+     dune exec bench/main.exe                 — everything
+     dune exec bench/main.exe -- figure2      — one experiment
+     dune exec bench/main.exe -- --list       — list experiment names
+     dune exec bench/main.exe -- --no-micro   — experiments only
+*)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  if List.mem "--list" args then begin
+    List.iter (fun (name, _) -> print_endline name) Experiments.all;
+    print_endline "micro"
+  end
+  else begin
+    let wanted = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
+    let run_micro =
+      (not (List.mem "--no-micro" args)) && (wanted = [] || List.mem "micro" wanted)
+    in
+    let selected =
+      if wanted = [] then Experiments.all
+      else List.filter (fun (name, _) -> List.mem name wanted) Experiments.all
+    in
+    Format.printf "NetDebug experiment reproduction (simulated NetFPGA-SUME / SDNet)@.";
+    List.iter (fun (_, f) -> f ()) selected;
+    if run_micro then Microbench.run ();
+    Format.printf "@.done.@."
+  end

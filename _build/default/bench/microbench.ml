@@ -1,0 +1,186 @@
+(* Bechamel microbenchmarks: one Test.make per cost table in
+   EXPERIMENTS.md (B1-B10). Measures the per-operation cost of every hot
+   path in the simulator and toolchain. *)
+
+open Bechamel
+open Toolkit
+
+module Programs = P4ir.Programs
+module Runtime = P4ir.Runtime
+module Interp = P4ir.Interp
+module Quirks = Sdnet.Quirks
+module Compile = Sdnet.Compile
+module Device = Target.Device
+module Entry = P4ir.Entry
+module Value = P4ir.Value
+
+let routed_probe = Packet.serialize (Packet.udp_ipv4 ~dst:0x0A000005L ())
+
+let make_device () =
+  let report = Compile.compile_exn ~quirks:Quirks.none Programs.basic_router.Programs.program in
+  let d = Device.create report.Compile.pipeline in
+  (match
+     Runtime.install_all Programs.basic_router.Programs.program (Device.runtime d)
+       Programs.basic_router.Programs.entries
+   with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  d
+
+let b1_device_forward =
+  let d = make_device () in
+  Test.make ~name:"B1 device: forward one packet"
+    (Staged.stage (fun () ->
+         ignore (Device.inject d ~source:(Device.External 0) routed_probe)))
+
+let b2_interp_forward =
+  let rt = Runtime.create () in
+  let () =
+    match
+      Runtime.install_all Programs.basic_router.Programs.program rt
+        Programs.basic_router.Programs.entries
+    with
+    | Ok () -> ()
+    | Error e -> failwith e
+  in
+  Test.make ~name:"B2 interpreter: forward one packet"
+    (Staged.stage (fun () ->
+         ignore
+           (Interp.process Programs.basic_router.Programs.program rt ~ingress_port:0
+              routed_probe)))
+
+let b3_generator =
+  let h = Netdebug.Harness.deploy ~quirks:Quirks.none Programs.basic_router in
+  let ctl = h.Netdebug.Harness.controller in
+  let ok = function Ok v -> v | Error e -> failwith e in
+  let () = ok (Netdebug.Controller.configure_checker ctl []) in
+  let stream =
+    Netdebug.Controller.stream
+      ~mutations:[ Netdebug.Wire.Sweep_field ("ipv4", "dst", 0x0A000001L, 1L) ]
+      routed_probe
+  in
+  Test.make ~name:"B3 generator: render+inject one mutated packet"
+    (Staged.stage (fun () ->
+         ok (Netdebug.Controller.configure_generator ctl [ stream ]);
+         ok (Netdebug.Controller.start_generator ctl)))
+
+let b4_checker_rule =
+  let program = Programs.basic_router.Programs.program in
+  let env = P4ir.Env.create program in
+  let ctx = P4ir.Exec.make_ctx ~env ~runtime:(Runtime.create ()) () in
+  let hooks =
+    { P4ir.Parse.on_reject = `Continue; verify_checksum = false; max_steps = 64 }
+  in
+  let () = ignore (P4ir.Parse.run ~hooks ctx routed_probe) in
+  let rule = P4ir.Dsl.(fld "ipv4" "ttl" ==: const ~width:8 64) in
+  Test.make ~name:"B4 checker: evaluate one rule"
+    (Staged.stage (fun () -> ignore (P4ir.Exec.eval ctx rule)))
+
+let b5_lpm_lookup =
+  let prng = Bitutil.Prng.create 42 in
+  let entries =
+    List.init 1024 (fun i ->
+        Entry.make
+          ~keys:[ Entry.lpm (Value.of_int ~width:32 (i lsl 12)) (8 + (i mod 24)) ]
+          ~action:"a" ())
+  in
+  Test.make ~name:"B5 lpm: select over 1024 entries"
+    (Staged.stage (fun () ->
+         ignore (Entry.select entries [ Value.make ~width:32 (Bitutil.Prng.bits prng ~width:32) ])))
+
+let b6_symexec =
+  let rt = Runtime.create () in
+  let () =
+    match
+      Runtime.install_all Programs.basic_router.Programs.program rt
+        Programs.basic_router.Programs.entries
+    with
+    | Ok () -> ()
+    | Error e -> failwith e
+  in
+  Test.make ~name:"B6 symexec: explore basic_router"
+    (Staged.stage (fun () ->
+         ignore (Symexec.Sexec.explore Programs.basic_router.Programs.program rt)))
+
+let b7_compile =
+  Test.make ~name:"B7 sdnet: compile basic_router"
+    (Staged.stage (fun () ->
+         ignore (Compile.compile_exn Programs.basic_router.Programs.program)))
+
+let b8_checksum =
+  let payload = String.make 1500 'x' in
+  Test.make ~name:"B8 checksum: 1500B internet checksum"
+    (Staged.stage (fun () -> ignore (Bitutil.Checksum.checksum payload)))
+
+let b9_kv_get =
+  let report = Compile.compile_exn ~quirks:Quirks.none Programs.kv_cache.Programs.program in
+  let d = Device.create report.Compile.pipeline in
+  let kv_get =
+    let w = Bitutil.Bitstring.Writer.create () in
+    Bitutil.Bitstring.Writer.push_bits w
+      (Packet.Eth.to_bits (Packet.Eth.make ~ethertype:0x1235L ()));
+    Bitutil.Bitstring.Writer.push_int64 w ~width:8 1L;
+    Bitutil.Bitstring.Writer.push_int64 w ~width:16 7L;
+    Bitutil.Bitstring.Writer.push_int64 w ~width:32 0L;
+    Bitutil.Bitstring.Writer.push_int64 w ~width:8 0L;
+    Bitutil.Bitstring.Writer.contents w
+  in
+  Test.make ~name:"B9 kv_cache device: one GET"
+    (Staged.stage (fun () -> ignore (Device.inject d ~source:(Device.External 0) kv_get)))
+
+let b10_wire_roundtrip =
+  let msg =
+    Netdebug.Wire.Configure_checker
+      [
+        {
+          Netdebug.Wire.r_name = "r";
+          r_filter = Some P4ir.Dsl.(fld "ipv4" "ttl" ==: const ~width:8 63);
+          r_expect = P4ir.Dsl.(P4ir.Ast.Std P4ir.Ast.Egress_spec ==: const ~width:9 1);
+        };
+      ]
+  in
+  Test.make ~name:"B10 wire: encode+decode a checker config"
+    (Staged.stage (fun () ->
+         match Netdebug.Wire.decode_host (Netdebug.Wire.encode_host msg) with
+         | Ok _ -> ()
+         | Error e -> failwith e))
+
+let tests =
+  Test.make_grouped ~name:"netdebug"
+    [
+      b1_device_forward; b2_interp_forward; b3_generator; b4_checker_rule; b5_lpm_lookup;
+      b6_symexec; b7_compile; b8_checksum; b9_kv_get; b10_wire_roundtrip;
+    ]
+
+let run () =
+  Format.printf "@.==== Microbenchmarks (Bechamel) ====@.@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let table = Stats.Texttable.create [ "benchmark"; "ns/op" ] in
+  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | Some per_test ->
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some [ ns ] -> Printf.sprintf "%.1f" ns
+              | Some _ | None -> "n/a"
+            in
+            (name, est) :: acc)
+          per_test []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter (fun (name, est) -> Stats.Texttable.add_row table [ name; est ]) rows
+  | None -> ());
+  Format.printf "%s@." (Stats.Texttable.render table)

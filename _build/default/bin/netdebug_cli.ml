@@ -1,0 +1,338 @@
+(* netdebug — command-line front end.
+
+   Subcommands:
+     list                    the program library
+     show PROGRAM            P4-flavoured source of a program
+     export PROGRAM          re-loadable .p4 source (round-trips exactly)
+     compile PROGRAM         toolchain report (stages, resources, quirks)
+     verify PROGRAM          formal verification battery on the spec
+     validate PROGRAM        NetDebug functional validation on the device
+     localize PROGRAM        inject a fault and localize it
+     journey PROGRAM         stage-by-stage trace of one packet
+     usecases                run the seven use-cases and summarize
+*)
+
+module Ast = P4ir.Ast
+module Programs = P4ir.Programs
+module Runtime = P4ir.Runtime
+module Quirks = Sdnet.Quirks
+module Compile = Sdnet.Compile
+module Config = Target.Config
+module Device = Target.Device
+module Fault = Target.Fault
+module Harness = Netdebug.Harness
+module Usecases = Netdebug.Usecases
+module Localize = Netdebug.Localize
+open Cmdliner
+
+let find_bundle name =
+  if Filename.check_suffix name ".p4" then
+    match P4front.Front.parse_file name with
+    | Ok b -> Ok b
+    | Error e -> Error (Format.asprintf "%s: %a" name P4front.Front.pp_error e)
+  else
+    match Programs.find name with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (Printf.sprintf "unknown program %s (try a .p4 file, or one of: %s)" name
+             (String.concat ", "
+                (List.map (fun b -> b.Programs.program.Ast.p_name) Programs.all)))
+
+let program_arg =
+  let doc =
+    "Name of a program from the library (see $(b,netdebug list)) or a path to a \
+     $(b,.p4) source file."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let quirk_names =
+  List.map (fun q -> (Quirks.name q, q)) Quirks.all
+
+let quirks_arg =
+  let doc =
+    Printf.sprintf
+      "Toolchain quirk to emulate (repeatable). One of: %s. Default: the shipped \
+       toolchain (%s). Use $(b,--faithful) for a fixed compiler."
+      (String.concat ", " (List.map fst quirk_names))
+      (String.concat ", " (List.map Quirks.name Quirks.default))
+  in
+  Arg.(value & opt_all (enum quirk_names) [] & info [ "quirk" ] ~docv:"QUIRK" ~doc)
+
+let faithful_arg =
+  let doc = "Compile with a faithful (fixed) toolchain: no quirks." in
+  Arg.(value & flag & info [ "faithful" ] ~doc)
+
+let effective_quirks quirks faithful =
+  if faithful then Quirks.none else if quirks = [] then Quirks.default else quirks
+
+let target_arg =
+  let doc = "Target platform: sume or small." in
+  Arg.(
+    value
+    & opt (enum [ ("sume", Config.netfpga_sume); ("small", Config.small_target) ])
+        Config.netfpga_sume
+    & info [ "target" ] ~docv:"TARGET" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    let t = Stats.Texttable.create [ "program"; "description" ] in
+    List.iter
+      (fun b ->
+        Stats.Texttable.add_row t
+          [ b.Programs.program.Ast.p_name; b.Programs.description ])
+      Programs.all;
+    print_string (Stats.Texttable.render t)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the data-plane program library")
+    Term.(const run $ const ())
+
+(* ---------------- show ---------------- *)
+
+let show_cmd =
+  let run name =
+    let b = or_die (find_bundle name) in
+    Format.printf "%s@." (P4ir.Pp.program_to_string b.Programs.program);
+    if b.Programs.entries <> [] then begin
+      Format.printf "@.// control-plane entries@.";
+      List.iter
+        (fun (table, e) -> Format.printf "// %s: %a@." table P4ir.Entry.pp e)
+        b.Programs.entries
+    end
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a program in P4-flavoured syntax")
+    Term.(const run $ program_arg)
+
+(* ---------------- export ---------------- *)
+
+let export_cmd =
+  let run name =
+    let b = or_die (find_bundle name) in
+    print_string (P4front.Print.bundle_to_source b)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Print a program (and its entries) as .p4 source that $(b,netdebug) can \
+          load back")
+    Term.(const run $ program_arg)
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let run name quirks faithful config =
+    let b = or_die (find_bundle name) in
+    let quirks = effective_quirks quirks faithful in
+    match Compile.compile ~quirks ~config b.Programs.program with
+    | Ok report -> Format.printf "%a@." Compile.pp_report report
+    | Error errs ->
+        List.iter (fun e -> Format.eprintf "error: %a@." Compile.pp_error e) errs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a program and report stages/resources")
+    Term.(const run $ program_arg $ quirks_arg $ faithful_arg $ target_arg)
+
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let run name =
+    let b = or_die (find_bundle name) in
+    let rt = Runtime.create () in
+    or_die (Runtime.install_all b.Programs.program rt b.Programs.entries);
+    let findings = Symexec.Check.run_all b.Programs.program rt in
+    List.iter (fun f -> Format.printf "%a@." Symexec.Check.pp_finding f) findings;
+    let violated =
+      List.filter (fun f -> f.Symexec.Check.f_verdict = Symexec.Check.Violated) findings
+    in
+    Format.printf "@.%d properties, %d violated@." (List.length findings)
+      (List.length violated);
+    if violated <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the software formal-verification battery on the specification")
+    Term.(const run $ program_arg)
+
+(* ---------------- validate ---------------- *)
+
+let validate_cmd =
+  let run name quirks faithful fuzz pcap_out =
+    let b = or_die (find_bundle name) in
+    let quirks = effective_quirks quirks faithful in
+    Format.printf "toolchain quirks: %a@." Quirks.pp quirks;
+    let h = Harness.deploy ~quirks b in
+    (match Harness.self_check h with
+    | Ok facts -> List.iter (fun f -> Format.printf "[ok] %s@." f) facts
+    | Error e -> or_die (Error e));
+    let report = Usecases.Functional.run ~fuzz h in
+    Format.printf "@.%a@." Usecases.Functional.pp report;
+    (match pcap_out with
+    | Some path ->
+        let records =
+          List.map
+            (fun m ->
+              {
+                Packet.Pcap.ts_ns = 0.0;
+                data = Bitutil.Bitstring.to_string m.Usecases.Functional.mm_packet;
+              })
+            report.Usecases.Functional.fr_mismatches
+        in
+        Packet.Pcap.write_file path records;
+        Format.printf "wrote %d diverging packet(s) to %s@." (List.length records) path
+    | None -> ());
+    if not (Usecases.Functional.passed report) then exit 1
+  in
+  let fuzz_arg =
+    Arg.(value & opt int 32 & info [ "fuzz" ] ~docv:"N" ~doc:"Extra fuzz vectors.")
+  in
+  let pcap_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pcap" ] ~docv:"FILE"
+          ~doc:"Write the packets that exposed divergences to a pcap capture.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Deploy on the simulated device and validate against the specification")
+    Term.(const run $ program_arg $ quirks_arg $ faithful_arg $ fuzz_arg $ pcap_arg)
+
+(* ---------------- localize ---------------- *)
+
+let localize_cmd =
+  let run name stage =
+    let b = or_die (find_bundle name) in
+    let h = Harness.deploy ~quirks:Quirks.none b in
+    (match stage with
+    | Some stage -> Device.inject_fault h.Harness.device ~stage Fault.Drop_at_stage
+    | None -> ());
+    let probe =
+      match b.Programs.entries with
+      | _ :: _ -> Packet.serialize (Packet.udp_ipv4 ~dst:0x0A000005L ())
+      | [] -> Packet.serialize (Packet.udp_ipv4 ())
+    in
+    let verdict, evidence = Localize.locate h ~probe in
+    Format.printf "verdict: %s@." (Localize.verdict_to_string verdict);
+    List.iter
+      (fun (stage, delta) -> Format.printf "  %-16s %Ld@." stage delta)
+      evidence.Localize.e_deltas;
+    Format.printf "  %-16s %d@." "check point" evidence.Localize.e_emitted;
+    Format.printf "  %-16s %d@." "on the wire" evidence.Localize.e_external
+  in
+  let stage_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"STAGE"
+          ~doc:"Inject a drop fault into this stage first (e.g. ma:ipv4_lpm).")
+  in
+  Cmd.v (Cmd.info "localize" ~doc:"Probe the pipeline and localize packet loss")
+    Term.(const run $ program_arg $ stage_arg)
+
+(* ---------------- journey ---------------- *)
+
+let journey_cmd =
+  let run name hex =
+    let b = or_die (find_bundle name) in
+    let h = Harness.deploy ~quirks:Quirks.none b in
+    let bits =
+      match hex with
+      | Some hx -> (
+          try Bitutil.Bitstring.of_hex hx
+          with Invalid_argument e -> or_die (Error e))
+      | None -> Packet.serialize (Packet.udp_ipv4 ~dst:0x0A000005L ())
+    in
+    let id, disposition =
+      Target.Device.inject h.Harness.device ~source:Target.Device.Generator bits
+    in
+    (match disposition with
+    | Target.Device.Emitted out ->
+        Format.printf "disposition: emitted on port %d at t=%.1fns@." out.Target.Device.o_port
+          out.Target.Device.o_out_time_ns
+    | Target.Device.Dropped_pipeline r -> Format.printf "disposition: dropped (%s)@." r
+    | Target.Device.Dropped_queue -> Format.printf "disposition: queue drop@."
+    | Target.Device.Lost_in_stage s -> Format.printf "disposition: lost in %s@." s);
+    Format.printf "@.per-stage journey (internal trace):@.";
+    List.iter
+      (fun e -> Format.printf "  %a@." Trace.pp_event e)
+      (Trace.events_for_packet (Target.Device.trace h.Harness.device) id)
+  in
+  let hex_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "packet" ] ~docv:"HEX"
+          ~doc:"Packet bytes as hex (default: a routable UDP/IPv4 probe).")
+  in
+  Cmd.v
+    (Cmd.info "journey"
+       ~doc:"Inject one packet and print its stage-by-stage journey from the taps")
+    Term.(const run $ program_arg $ hex_arg)
+
+(* ---------------- usecases ---------------- *)
+
+let usecases_cmd =
+  let run () =
+    Format.printf "running the seven use-cases (this takes a moment)...@.@.";
+    (* 1. functional *)
+    let h = Harness.deploy ~quirks:Quirks.none Programs.basic_router in
+    let f = Usecases.Functional.run ~fuzz:16 h in
+    Format.printf "1. functional:    %s@."
+      (if Usecases.Functional.passed f then "PASS" else "FAIL");
+    (* 2. performance *)
+    let probe = Packet.serialize (Packet.udp_ipv4 ~dst:0x0A000005L ~payload_bytes:1000 ()) in
+    let pts = Usecases.Performance.sweep ~loads:[ 0.5; 1.0 ] ~packets_per_point:1000 h ~probe in
+    (match pts with
+    | [ half; full ] ->
+        Format.printf "2. performance:   %.1f / %.1f Gb/s at 50%% / 100%% load@."
+          half.Usecases.Performance.pt_achieved_gbps
+          full.Usecases.Performance.pt_achieved_gbps
+    | _ -> ());
+    (* 3. compiler check *)
+    let dets = Usecases.Compiler_check.battery () in
+    let caught =
+      List.length
+        (List.filter
+           (fun d ->
+             d.Usecases.Compiler_check.dq_quirk <> None
+             && d.Usecases.Compiler_check.dq_detected)
+           dets)
+    in
+    Format.printf "3. compiler:      %d/%d seeded quirks detected@." caught
+      (List.length dets - 1);
+    (* 4. architecture *)
+    let arch = Usecases.Architecture_check.probe () in
+    Format.printf "4. architecture:  %d limits discovered@." (List.length arch);
+    (* 5. resources *)
+    let rows = Usecases.Resources.inventory () in
+    Format.printf "5. resources:     %d programs inventoried@." (List.length rows);
+    (* 6. status *)
+    let samples = Usecases.Status.monitor ~samples:3 h ~background:probe in
+    Format.printf "6. status:        %d snapshots@." (List.length samples);
+    (* 7. comparison *)
+    let c =
+      Usecases.Comparison.run ~quirks_a:Quirks.none ~quirks_b:Quirks.none
+        Programs.basic_router Programs.router_split
+    in
+    Format.printf "7. comparison:    %s@."
+      (if Usecases.Comparison.equivalent c then "EQUIVALENT" else "DIVERGENT")
+  in
+  Cmd.v (Cmd.info "usecases" ~doc:"Exercise all seven use-cases briefly")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "programmable validation and real-time debugging of data planes" in
+  let info = Cmd.info "netdebug" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; export_cmd; compile_cmd; verify_cmd; validate_cmd;
+            localize_cmd; journey_cmd; usecases_cmd ]))

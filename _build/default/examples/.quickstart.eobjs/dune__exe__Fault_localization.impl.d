@@ -1,0 +1,1 @@
+examples/fault_localization.ml: Format List Netdebug Osnt P4ir Packet Printf Sdnet Stats Target

@@ -1,0 +1,1 @@
+examples/in_network_cache.ml: Bitutil Format List Netdebug P4ir Packet Sdnet

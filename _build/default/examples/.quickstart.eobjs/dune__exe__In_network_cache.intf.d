@@ -1,0 +1,1 @@
+examples/in_network_cache.mli:

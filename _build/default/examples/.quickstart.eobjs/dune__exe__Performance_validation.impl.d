@@ -1,0 +1,1 @@
+examples/performance_validation.ml: Format List Netdebug Osnt P4ir Packet Printf Sdnet Stats Target

@@ -1,0 +1,1 @@
+examples/performance_validation.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Netdebug P4ir Packet Sdnet Target

@@ -1,0 +1,1 @@
+examples/reject_bug.ml: Bitutil Format List Netdebug P4ir Packet Sdnet Symexec

@@ -1,0 +1,1 @@
+examples/reject_bug.mli:

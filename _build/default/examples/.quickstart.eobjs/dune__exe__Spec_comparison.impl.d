@@ -1,0 +1,1 @@
+examples/spec_comparison.ml: Format List Netdebug P4ir Sdnet

@@ -1,0 +1,124 @@
+// Heavy-hitter detection in the data plane (textual-only program).
+//
+// Counts packets per source bucket (low 8 bits of the IPv4 source) in a
+// register array; once a bucket exceeds the policy threshold, traffic is
+// marked with the EF DSCP (46) before being routed, so downstream devices
+// can police it. Exercises registers, slices, a parameterized policy
+// table, and checksum update after header rewriting.
+
+header eth {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> ethertype;
+}
+
+header ipv4 {
+  bit<4>  version;
+  bit<4>  ihl;
+  bit<6>  dscp;
+  bit<2>  ecn;
+  bit<16> total_len;
+  bit<16> ident;
+  bit<3>  flags;
+  bit<13> frag_offset;
+  bit<8>  ttl;
+  bit<8>  protocol;
+  bit<16> checksum;
+  bit<32> src;
+  bit<32> dst;
+}
+
+struct metadata {
+  bit<32> pkt_count;
+  bit<32> threshold;
+}
+
+register<bit<32>>(256) src_counts;
+
+counter flagged;
+counter routed;
+
+checksum { verify_ipv4; update_ipv4; }
+
+parser {
+  state start {
+    extract(eth);
+    transition select (eth.ethertype) {
+      0x800: parse_ipv4;
+      default: reject;
+    }
+  }
+  state parse_ipv4 {
+    extract(ipv4);
+    transition select (ipv4.version) {
+      4w4: accept;
+      default: reject;
+    }
+  }
+}
+
+action set_threshold(bit<32> packets) {
+  meta.threshold = packets;
+}
+
+action set_nexthop(bit<9> out_port, bit<48> dmac) {
+  standard_metadata.egress_spec = out_port;
+  eth.src = eth.dst;
+  eth.dst = dmac;
+  ipv4.ttl = ipv4.ttl - 1;
+  count(routed);
+}
+
+action drop_packet() {
+  mark_to_drop();
+}
+
+table hh_policy {
+  key = { standard_metadata.ingress_port : exact; }
+  actions = { set_threshold; }
+  default_action = set_threshold(32w5);
+  size = 64;
+}
+
+table ipv4_lpm {
+  key = { ipv4.dst : lpm; }
+  actions = { set_nexthop; drop_packet; }
+  default_action = drop_packet();
+  size = 1024;
+}
+
+control ingress {
+  if (ipv4.isValid()) {
+    if (ipv4.ttl <= 1) {
+      mark_to_drop();
+    } else {
+      apply(hh_policy);
+      src_counts.read(meta.pkt_count, ipv4.src[7:0]);
+      meta.pkt_count = meta.pkt_count + 1;
+      src_counts.write(ipv4.src[7:0], meta.pkt_count);
+      if (meta.pkt_count > meta.threshold) {
+        ipv4.dscp = 46;            // mark as a heavy hitter (EF)
+        count(flagged);
+      }
+      apply(ipv4_lpm);
+    }
+  } else {
+    mark_to_drop();
+  }
+}
+
+control egress { }
+
+deparser {
+  emit(eth);
+  emit(ipv4);
+}
+
+entries {
+  hh_policy {
+    9w2 -> set_threshold(32w2);    // port 2 is on a stricter budget
+  }
+  ipv4_lpm {
+    10.0.0.0/8 -> set_nexthop(9w1, 48w0x0A0000000001);
+  }
+}

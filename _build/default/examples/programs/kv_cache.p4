@@ -1,0 +1,74 @@
+// NetCache-style in-network key-value cache, textual version.
+// GET (op=1) reads store[key & 0xff]; PUT (op=2) installs a value.
+// Replies are reflected to the requester.
+
+header eth {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> ethertype;
+}
+
+header kvh {
+  bit<8>  op;
+  bit<16> key;
+  bit<32> value;
+  bit<8>  status;
+}
+
+struct metadata {
+  bit<1>  hit;
+  bit<48> tmp_mac;
+}
+
+register<bit<32>>(256) kv_store;
+register<bit<1>>(256)  kv_present;
+
+counter cache_hit;
+counter cache_miss;
+counter cache_put;
+
+parser {
+  state start {
+    extract(eth);
+    transition select (eth.ethertype) {
+      0x1235: parse_kv;
+      default: reject;
+    }
+  }
+  state parse_kv {
+    extract(kvh);
+    transition accept;
+  }
+}
+
+control ingress {
+  if (kvh.op == 1) {
+    kv_present.read(meta.hit, kvh.key[7:0]);
+    if (meta.hit == 1) {
+      kv_store.read(kvh.value, kvh.key[7:0]);
+      kvh.status = 1;
+      count(cache_hit);
+    } else {
+      kvh.status = 0;
+      count(cache_miss);
+    }
+  } else if (kvh.op == 2) {
+    kv_store.write(kvh.key[7:0], kvh.value);
+    kv_present.write(kvh.key[7:0], 1w1);
+    kvh.status = 1;
+    count(cache_put);
+  } else {
+    kvh.status = 0xFF;
+  }
+  meta.tmp_mac = eth.dst;
+  eth.dst = eth.src;
+  eth.src = meta.tmp_mac;
+  standard_metadata.egress_spec = standard_metadata.ingress_port;
+}
+
+control egress { }
+
+deparser {
+  emit(eth);
+  emit(kvh);
+}

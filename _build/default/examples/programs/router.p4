@@ -1,0 +1,97 @@
+// An IPv4 LPM router in the P4-flavoured concrete syntax.
+// Semantically equivalent to the library's basic_router bundle
+// (the test suite checks that, packet for packet).
+
+header eth {
+  bit<48> dst;
+  bit<48> src;
+  bit<16> ethertype;
+}
+
+header ipv4 {
+  bit<4>  version;
+  bit<4>  ihl;
+  bit<6>  dscp;
+  bit<2>  ecn;
+  bit<16> total_len;
+  bit<16> ident;
+  bit<3>  flags;
+  bit<13> frag_offset;
+  bit<8>  ttl;
+  bit<8>  protocol;
+  bit<16> checksum;
+  bit<32> src;
+  bit<32> dst;
+}
+
+counter ipv4_routed;
+counter ipv4_miss;
+counter ttl_expired;
+
+checksum { verify_ipv4; update_ipv4; }
+
+parser {
+  state start {
+    extract(eth);
+    transition select (eth.ethertype) {
+      0x0800: parse_ipv4;
+      default: reject;
+    }
+  }
+  state parse_ipv4 {
+    extract(ipv4);
+    transition select (ipv4.version) {
+      4w4: accept;
+      default: reject;
+    }
+  }
+}
+
+action set_nexthop(bit<9> out_port, bit<48> dmac) {
+  assert(ipv4.ttl > 0, "ttl positive before decrement");
+  standard_metadata.egress_spec = out_port;
+  eth.src = eth.dst;
+  eth.dst = dmac;
+  ipv4.ttl = ipv4.ttl - 1;
+  count(ipv4_routed);
+}
+
+action drop_packet() {
+  mark_to_drop();
+  count(ipv4_miss);
+}
+
+table ipv4_lpm {
+  key = { ipv4.dst : lpm; }
+  actions = { set_nexthop; drop_packet; }
+  default_action = drop_packet();
+  size = 1024;
+}
+
+control ingress {
+  if (ipv4.isValid()) {
+    if (ipv4.ttl <= 1) {
+      mark_to_drop();
+      count(ttl_expired);
+    } else {
+      apply(ipv4_lpm);
+    }
+  } else {
+    mark_to_drop();
+  }
+}
+
+control egress { }
+
+deparser {
+  emit(eth);
+  emit(ipv4);
+}
+
+entries {
+  ipv4_lpm {
+    10.0.0.0/8     -> set_nexthop(9w1, 48w0x0A0000000001);
+    10.1.0.0/16    -> set_nexthop(9w2, 48w0x0A0000000002);
+    192.168.0.0/16 -> set_nexthop(9w3, 48w0x0A0000000003);
+  }
+}

@@ -1,0 +1,1 @@
+lib/bitutil/bitstring.ml: Array Buffer Bytes Char Format Int64 List Printf Prng Stdlib String

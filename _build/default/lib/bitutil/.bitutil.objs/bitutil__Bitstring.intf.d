@@ -1,0 +1,1 @@
+lib/bitutil/bitstring.mli: Format Prng

@@ -1,0 +1,1 @@
+lib/bitutil/checksum.mli: Bitstring

@@ -1,0 +1,1 @@
+lib/bitutil/crc32.ml: Array Bitstring Char Int32 Lazy String

@@ -1,0 +1,1 @@
+lib/bitutil/crc32.mli: Bitstring

@@ -1,0 +1,1 @@
+lib/bitutil/hexdump.ml: Char Format String

@@ -1,0 +1,1 @@
+lib/bitutil/hexdump.mli: Format

@@ -1,0 +1,1 @@
+lib/bitutil/prng.ml: Array Int64

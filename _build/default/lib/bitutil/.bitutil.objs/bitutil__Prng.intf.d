@@ -1,0 +1,1 @@
+lib/bitutil/prng.mli:

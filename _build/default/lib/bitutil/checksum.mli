@@ -1,0 +1,16 @@
+(** Internet checksum (RFC 1071) over byte strings. *)
+
+val ones_complement_sum : string -> int
+(** 16-bit one's-complement sum of the data, before final complement.
+    Odd-length data is padded with a zero byte. *)
+
+val checksum : string -> int
+(** The Internet checksum: complement of {!ones_complement_sum}, in
+    [\[0, 0xffff\]]. *)
+
+val checksum_bits : Bitstring.t -> int
+(** Checksum over the byte rendering of a bit string. *)
+
+val valid : string -> bool
+(** [valid data] holds when the data (with its embedded checksum field)
+    sums to 0xffff, i.e. the checksum verifies. *)

@@ -1,0 +1,6 @@
+(** CRC-32 (IEEE 802.3 polynomial), as used for Ethernet FCS. *)
+
+val digest : string -> int32
+(** CRC-32 of the whole string, standard init/xorout. *)
+
+val digest_bits : Bitstring.t -> int32

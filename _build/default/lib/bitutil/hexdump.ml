@@ -1,0 +1,24 @@
+let printable c = if Char.code c >= 0x20 && Char.code c < 0x7f then c else '.'
+
+let pp ppf s =
+  let n = String.length s in
+  let line = ref 0 in
+  while !line * 16 < n do
+    let off = !line * 16 in
+    let len = min 16 (n - off) in
+    Format.fprintf ppf "%04x  " off;
+    for i = 0 to 15 do
+      if i < len then Format.fprintf ppf "%02x " (Char.code s.[off + i])
+      else Format.fprintf ppf "   ";
+      if i = 7 then Format.fprintf ppf " "
+    done;
+    Format.fprintf ppf " |";
+    for i = 0 to len - 1 do
+      Format.fprintf ppf "%c" (printable s.[off + i])
+    done;
+    Format.fprintf ppf "|";
+    if (!line + 1) * 16 < n then Format.fprintf ppf "@\n";
+    incr line
+  done
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,1 @@
+lib/netdebug/agent.ml: Array Channel Checker Generator List P4ir Stats String Target Wire

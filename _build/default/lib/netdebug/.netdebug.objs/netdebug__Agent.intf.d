@@ -1,0 +1,1 @@
+lib/netdebug/agent.mli: Channel Checker Generator P4ir Target

@@ -1,0 +1,1 @@
+lib/netdebug/channel.mli:

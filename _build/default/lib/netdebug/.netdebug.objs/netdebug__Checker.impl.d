@@ -1,0 +1,1 @@
+lib/netdebug/checker.ml: Bitutil List P4ir Stats Target Wire

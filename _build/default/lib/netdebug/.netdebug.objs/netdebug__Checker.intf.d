@@ -1,0 +1,1 @@
+lib/netdebug/checker.mli: P4ir Stats Target Wire

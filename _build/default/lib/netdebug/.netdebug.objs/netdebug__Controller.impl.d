@@ -1,0 +1,1 @@
+lib/netdebug/controller.ml: Channel P4ir Printf Wire

@@ -1,0 +1,1 @@
+lib/netdebug/controller.mli: Bitutil Channel P4ir Wire

@@ -1,0 +1,1 @@
+lib/netdebug/generator.ml: Bitutil Int64 List P4ir String Target Wire

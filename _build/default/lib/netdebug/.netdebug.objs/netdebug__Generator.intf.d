@@ -1,0 +1,1 @@
+lib/netdebug/generator.mli: P4ir Target Wire

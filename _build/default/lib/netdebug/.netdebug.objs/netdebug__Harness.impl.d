@@ -1,0 +1,1 @@
+lib/netdebug/harness.ml: Agent Bitutil Channel Controller List P4ir Packet Printf Result Sdnet Stats Target Wire

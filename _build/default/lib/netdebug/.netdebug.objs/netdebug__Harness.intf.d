@@ -1,0 +1,1 @@
+lib/netdebug/harness.mli: Agent Bitutil Controller P4ir Sdnet Target

@@ -1,0 +1,1 @@
+lib/netdebug/localize.ml: Controller Harness Int64 List P4ir Printf Target Wire

@@ -1,0 +1,1 @@
+lib/netdebug/localize.mli: Bitutil Harness

@@ -1,0 +1,1 @@
+lib/netdebug/usecases.ml: Bitutil Controller Format Harness List P4ir Packet Printf Sdnet String Target Vectors Wire

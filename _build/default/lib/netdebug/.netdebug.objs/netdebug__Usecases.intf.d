@@ -1,0 +1,1 @@
+lib/netdebug/usecases.mli: Bitutil Format Harness P4ir Sdnet Target Wire

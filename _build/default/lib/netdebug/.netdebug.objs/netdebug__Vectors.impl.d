@@ -1,0 +1,1 @@
+lib/netdebug/vectors.ml: Bitutil Hashtbl Int64 List Packet Symexec

@@ -1,0 +1,1 @@
+lib/netdebug/vectors.mli: Bitutil P4ir

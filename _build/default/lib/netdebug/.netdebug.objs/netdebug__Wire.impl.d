@@ -1,0 +1,1 @@
+lib/netdebug/wire.ml: Bitutil Buffer Char Int64 List P4ir Printf String

@@ -1,0 +1,1 @@
+lib/netdebug/wire.mli: Bitutil Buffer P4ir

@@ -1,0 +1,82 @@
+module Device = Target.Device
+module Counter = Stats.Counter
+
+type t = {
+  device : Device.t;
+  endpoint : Channel.endpoint;
+  generator : Generator.t;
+  checker : Checker.t;
+}
+
+let create ~program ~device endpoint =
+  {
+    device;
+    endpoint;
+    generator = Generator.create ~program device;
+    checker = Checker.create ~program device;
+  }
+
+let generator t = t.generator
+
+let checker t = t.checker
+
+let status_summary device =
+  let st = Device.status device in
+  {
+    Wire.ss_time_ns = st.Device.st_time_ns;
+    ss_packets_in = st.Device.st_packets_in;
+    ss_packets_out = st.Device.st_packets_out;
+    ss_queue_drops = st.Device.st_queue_drops;
+    ss_pipeline_drops = st.Device.st_pipeline_drops;
+    ss_queue_depth = st.Device.st_queue_depth;
+  }
+
+let stage_counters device =
+  List.filter
+    (fun (name, _) -> String.length name > 6 && String.sub name 0 6 = "stage/")
+    (Counter.Set.to_alist (Device.counters device))
+
+let handle t (msg : Wire.host_msg) : Wire.dev_msg =
+  match msg with
+  | Wire.Configure_generator streams ->
+      Generator.configure t.generator streams;
+      Wire.Ack
+  | Wire.Configure_checker rules ->
+      Checker.configure t.checker rules;
+      Wire.Ack
+  | Wire.Start_generator ->
+      Generator.start t.generator;
+      Wire.Ack
+  | Wire.Read_checker -> Wire.Checker_report (Checker.summary t.checker)
+  | Wire.Read_status -> Wire.Status_report (status_summary t.device)
+  | Wire.Read_stage_counters -> Wire.Stage_counters (stage_counters t.device)
+  | Wire.Read_register name -> (
+      match P4ir.Regstate.dump (Device.registers t.device) name with
+      | cells ->
+          let sparse = ref [] in
+          Array.iteri
+            (fun i v ->
+              let raw = P4ir.Value.to_int64 v in
+              if raw <> 0L then sparse := (i, raw) :: !sparse)
+            cells;
+          Wire.Register_dump (List.rev !sparse)
+      | exception Invalid_argument e -> Wire.Error_msg e)
+  | Wire.Clear_test_state ->
+      Generator.clear t.generator;
+      Checker.clear t.checker;
+      Wire.Ack
+
+let process t =
+  let rec loop () =
+    match Channel.recv t.endpoint with
+    | None -> ()
+    | Some raw ->
+        let reply =
+          match Wire.decode_host raw with
+          | Ok msg -> handle t msg
+          | Error e -> Wire.Error_msg ("decode: " ^ e)
+        in
+        Channel.send t.endpoint (Wire.encode_dev reply);
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,13 @@
+(** The device-side endpoint of the management channel: owns the generator
+    and checker inside the target and executes the host tool's commands. *)
+
+type t
+
+val create :
+  program:P4ir.Ast.program -> device:Target.Device.t -> Channel.endpoint -> t
+
+val generator : t -> Generator.t
+val checker : t -> Checker.t
+
+val process : t -> unit
+(** Drain and execute every pending host message, sending replies. *)

@@ -1,0 +1,115 @@
+module Ast = P4ir.Ast
+module Value = P4ir.Value
+module Env = P4ir.Env
+module Exec = P4ir.Exec
+module Parse = P4ir.Parse
+module Device = Target.Device
+module Bitstring = Bitutil.Bitstring
+
+type rule_state = {
+  rule : Wire.rule;
+  mutable matched : int;
+  mutable passed : int;
+  mutable failed : int;
+}
+
+type t = {
+  program : Ast.program;
+  capture_limit : int;
+  mutable rules : rule_state list;
+  mutable total_seen : int;
+  mutable captures : Wire.capture list;  (* newest first, bounded *)
+  lat : Stats.Histogram.t;
+  rate : Stats.Rate.t;
+}
+
+(* the checker observes; it never drops what it parses *)
+let check_parse_hooks =
+  { Parse.on_reject = `Continue; verify_checksum = false; max_steps = 64 }
+
+let on_output t (out : Device.output) =
+  t.total_seen <- t.total_seen + 1;
+  Stats.Histogram.add t.lat (out.Device.o_out_time_ns -. out.Device.o_in_time_ns);
+  Stats.Rate.record t.rate ~now_ns:out.Device.o_out_time_ns
+    ~bytes:(Bitstring.byte_length out.Device.o_bits);
+  let env = Env.create t.program in
+  let runtime = P4ir.Runtime.create () in
+  let ctx = Exec.make_ctx ~env ~runtime () in
+  ignore (Parse.run ~hooks:check_parse_hooks ctx out.Device.o_bits);
+  Env.set_std env Ast.Egress_spec (Value.of_int ~width:9 (out.Device.o_port land 0x1ff));
+  let truthy e = Value.to_bool (Exec.eval ctx e) in
+  List.iter
+    (fun rs ->
+      let applies = match rs.rule.Wire.r_filter with None -> true | Some f -> truthy f in
+      if applies then begin
+        rs.matched <- rs.matched + 1;
+        if truthy rs.rule.Wire.r_expect then rs.passed <- rs.passed + 1
+        else begin
+          rs.failed <- rs.failed + 1;
+          if List.length t.captures < t.capture_limit then
+            t.captures <-
+              {
+                Wire.cap_rule = rs.rule.Wire.r_name;
+                cap_port = out.Device.o_port;
+                cap_time_ns = out.Device.o_out_time_ns;
+                cap_bits = out.Device.o_bits;
+              }
+              :: t.captures
+        end
+      end)
+    t.rules
+
+let create ?(capture_limit = 64) ~program device =
+  let t =
+    {
+      program;
+      capture_limit;
+      rules = [];
+      total_seen = 0;
+      captures = [];
+      lat = Stats.Histogram.create ();
+      rate = Stats.Rate.create ();
+    }
+  in
+  Device.set_check_tap device (fun out -> on_output t out);
+  t
+
+let configure t rules =
+  t.rules <- List.map (fun rule -> { rule; matched = 0; passed = 0; failed = 0 }) rules
+
+let summary t =
+  {
+    Wire.cs_total_seen = t.total_seen;
+    cs_pps = Stats.Rate.packets_per_sec t.rate;
+    cs_gbps = Stats.Rate.gbps t.rate;
+    cs_lat_mean_ns = Stats.Histogram.mean t.lat;
+    cs_lat_p50_ns = Stats.Histogram.percentile t.lat 50.0;
+    cs_lat_p99_ns = Stats.Histogram.percentile t.lat 99.0;
+    cs_rules =
+      List.map
+        (fun rs ->
+          {
+            Wire.rs_name = rs.rule.Wire.r_name;
+            rs_matched = rs.matched;
+            rs_passed = rs.passed;
+            rs_failed = rs.failed;
+          })
+        t.rules;
+    cs_captures = List.rev t.captures;
+  }
+
+let latency t = t.lat
+
+let throughput t = t.rate
+
+let clear t =
+  t.total_seen <- 0;
+  t.captures <- [];
+  Stats.Histogram.clear t.lat;
+  Stats.Rate.clear t.rate;
+  List.iter
+    (fun rs ->
+      rs.matched <- 0;
+      rs.passed <- 0;
+      rs.failed <- 0)
+    t.rules

@@ -1,0 +1,31 @@
+(** The in-device output packet checker (right box of Figure 1).
+
+    Attaches to the device's check point — before the output interfaces —
+    and evaluates programmable rules on every packet the data plane emits,
+    at line rate (in the model: synchronously on each emission, with no
+    effect on the data path).
+
+    Each rule is a filter/expect pair of P4 expressions over the test
+    program's headers; the checker re-parses every output packet with the
+    program's parser (never dropping — its parse errors are themselves
+    observable through [standard_metadata.parser_error]) and exposes the
+    observed output port as [standard_metadata.egress_spec]. Failing
+    packets are captured in a bounded ring for the host tool. *)
+
+type t
+
+val create : ?capture_limit:int -> program:P4ir.Ast.program -> Target.Device.t -> t
+(** Attaches the device's check tap. [capture_limit] defaults to 64. *)
+
+val configure : t -> Wire.rule list -> unit
+
+val summary : t -> Wire.checker_summary
+
+val latency : t -> Stats.Histogram.t
+(** Per-packet data-plane latency (out - in virtual time) of every packet
+    seen at the check point. *)
+
+val throughput : t -> Stats.Rate.t
+
+val clear : t -> unit
+(** Reset statistics and captures, keep the rules. *)

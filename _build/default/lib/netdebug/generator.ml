@@ -1,0 +1,99 @@
+module Ast = P4ir.Ast
+module Value = P4ir.Value
+module Env = P4ir.Env
+module Exec = P4ir.Exec
+module Parse = P4ir.Parse
+module Deparse = P4ir.Deparse
+module Device = Target.Device
+module Bitstring = Bitutil.Bitstring
+module Prng = Bitutil.Prng
+
+type t = {
+  program : Ast.program;
+  device : Device.t;
+  mutable streams : Wire.stream list;
+  mutable sent : int;
+  mutable dispositions : Device.disposition list;  (* newest first *)
+}
+
+let create ~program device = { program; device; streams = []; sent = 0; dispositions = [] }
+
+let configure t streams = t.streams <- streams
+
+let packets_sent t = t.sent
+
+let last_dispositions t = List.rev t.dispositions
+
+let clear t =
+  t.streams <- [];
+  t.sent <- 0;
+  t.dispositions <- []
+
+(* generator-side parsing never drops: it is test infrastructure *)
+let gen_parse_hooks = { Parse.on_reject = `Continue; verify_checksum = false; max_steps = 64 }
+
+let mutation_targets_checksum muts =
+  List.exists
+    (fun m ->
+      match (m : Wire.mutation) with
+      | Wire.Set_field (h, f, _) | Wire.Sweep_field (h, f, _, _) | Wire.Random_field (h, f, _)
+        ->
+          String.equal h "ipv4" && String.equal f "checksum")
+    muts
+
+let render_packet t (stream : Wire.stream) prng index =
+  let env = Env.create t.program in
+  let runtime = P4ir.Runtime.create () in
+  let ctx = Exec.make_ctx ~env ~runtime () in
+  ignore (Parse.run ~hooks:gen_parse_hooks ctx stream.Wire.s_template);
+  List.iter
+    (fun m ->
+      match (m : Wire.mutation) with
+      | Wire.Set_field (h, f, v) ->
+          if Env.is_valid env h then
+            Env.set_field env h f (Value.make ~width:(Value.width (Env.get_field env h f)) v)
+      | Wire.Sweep_field (h, f, start, step) ->
+          if Env.is_valid env h then
+            let w = Value.width (Env.get_field env h f) in
+            let v = Int64.add start (Int64.mul step (Int64.of_int index)) in
+            Env.set_field env h f (Value.make ~width:w v)
+      | Wire.Random_field (h, f, _) ->
+          if Env.is_valid env h then
+            let w = Value.width (Env.get_field env h f) in
+            Env.set_field env h f (Value.make ~width:w (Prng.bits prng ~width:w)))
+    stream.Wire.s_mutations;
+  (* refresh the checksum only when mutations dirtied the header; an
+     unmutated template must hit the wire byte-identical (deliberately
+     corrupted test packets included) *)
+  let update =
+    t.program.Ast.p_update_ipv4_checksum
+    && stream.Wire.s_mutations <> []
+    && not (mutation_targets_checksum stream.Wire.s_mutations)
+  in
+  Deparse.run ~update_ipv4_checksum:update env
+
+let start t =
+  t.dispositions <- [];
+  let base = Device.now_ns t.device in
+  let scheduled =
+    List.concat_map
+      (fun (stream : Wire.stream) ->
+        let prng =
+          Prng.create
+            (List.fold_left
+               (fun acc m ->
+                 match (m : Wire.mutation) with Wire.Random_field (_, _, s) -> acc + s | _ -> acc)
+               0x9E37 stream.Wire.s_mutations)
+        in
+        List.init stream.Wire.s_count (fun i ->
+            let at = base +. (float_of_int i *. stream.Wire.s_interval_ns) in
+            (at, render_packet t stream prng i)))
+      t.streams
+  in
+  let ordered = List.stable_sort (fun (a, _) (b, _) -> compare a b) scheduled in
+  List.iter
+    (fun (at, bits) ->
+      let _, disposition = Device.inject t.device ~source:Device.Generator ~at_ns:at bits in
+      t.sent <- t.sent + 1;
+      t.dispositions <- disposition :: t.dispositions)
+    ordered

@@ -1,0 +1,32 @@
+(** The in-device test packet generator (left box of Figure 1).
+
+    Programmable: a configured stream carries a template packet plus field
+    mutations expressed against the P4 program's header layout. For each
+    packet the generator parses the template with the program's parser,
+    applies the mutations, re-deparses, and injects the result directly
+    into the data plane under test — after the input interfaces, which is
+    what lets NetDebug test a device whose ports are dark.
+
+    The generator's own little pipeline uses spec semantics (it is
+    NetDebug's infrastructure, not the device under test) and it refreshes
+    the IPv4 checksum after mutation unless a mutation explicitly targets
+    the checksum field (so corrupted-checksum test streams are possible). *)
+
+type t
+
+val create : program:P4ir.Ast.program -> Target.Device.t -> t
+
+val configure : t -> Wire.stream list -> unit
+
+val start : t -> unit
+(** Render and inject every configured packet, in virtual-time order
+    across streams. *)
+
+val packets_sent : t -> int
+
+val last_dispositions : t -> Target.Device.disposition list
+(** Dispositions of the packets injected by the most recent {!start}, in
+    injection order (useful to tests; not part of the management
+    protocol). *)
+
+val clear : t -> unit

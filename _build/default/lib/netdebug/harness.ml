@@ -1,0 +1,92 @@
+module Programs = P4ir.Programs
+module Runtime = P4ir.Runtime
+module Interp = P4ir.Interp
+module Device = Target.Device
+module Bitstring = Bitutil.Bitstring
+
+type t = {
+  bundle : Programs.bundle;
+  compile_report : Sdnet.Compile.report;
+  device : Device.t;
+  agent : Agent.t;
+  controller : Controller.t;
+}
+
+let generator_port = 510
+
+let deploy ?(quirks = Sdnet.Quirks.default) ?config ?(install_entries = true) bundle =
+  let compile_report = Sdnet.Compile.compile_exn ~quirks ?config bundle.Programs.program in
+  let device = Device.create compile_report.Sdnet.Compile.pipeline in
+  if install_entries then begin
+    match
+      Runtime.install_all bundle.Programs.program (Device.runtime device)
+        bundle.Programs.entries
+    with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Harness.deploy: " ^ e)
+  end;
+  let host_ep, dev_ep = Channel.create () in
+  let agent = Agent.create ~program:bundle.Programs.program ~device dev_ep in
+  let controller = Controller.create ~pump:(fun () -> Agent.process agent) host_ep in
+  { bundle; compile_report; device; agent; controller }
+
+let spec_oracle t bits =
+  (Interp.process t.bundle.Programs.program (Device.runtime t.device)
+     ~ingress_port:generator_port bits)
+    .Interp.result
+
+let self_check t =
+  let ( let* ) = Result.bind in
+  let facts = ref [] in
+  let ok fmt = Printf.ksprintf (fun s -> facts := s :: !facts) fmt in
+  (* 1. management channel round-trips *)
+  let* status = Controller.read_status t.controller in
+  ok "management channel round-trips (device virtual time %.0f ns)"
+    status.Wire.ss_time_ns;
+  (* 2. injection bypasses the input interfaces *)
+  let rx_ext_before =
+    Stats.Counter.Set.get (Device.counters t.device) "rx/external"
+  in
+  let probe = Packet.serialize (Packet.udp_ipv4 ()) in
+  let* () = Controller.configure_checker t.controller [] in
+  let* () =
+    Controller.configure_generator t.controller [ Controller.stream probe ]
+  in
+  let* () = Controller.start_generator t.controller in
+  let rx_ext_after = Stats.Counter.Set.get (Device.counters t.device) "rx/external" in
+  let rx_gen = Stats.Counter.Set.get (Device.counters t.device) "rx/generator" in
+  if rx_ext_after <> rx_ext_before then
+    Error "generator traffic appeared on the external interfaces"
+  else begin
+    ok "injection point bypasses the input interfaces (%Ld generator packets, 0 external)"
+      rx_gen;
+    (* 3. check point sits before the output interfaces: break every port;
+       the checker must still see emissions *)
+    let cfg = Device.config t.device in
+    ignore (Device.outputs t.device);
+    for p = 0 to cfg.Target.Config.ports - 1 do
+      Device.set_port_broken t.device p true
+    done;
+    let* () = Controller.clear_test_state t.controller in
+    let* () = Controller.configure_generator t.controller [ Controller.stream probe ] in
+    let* () = Controller.start_generator t.controller in
+    let* summary = Controller.read_checker t.controller in
+    for p = 0 to cfg.Target.Config.ports - 1 do
+      Device.set_port_broken t.device p false
+    done;
+    let externally_visible = List.length (Device.outputs t.device) in
+    (* the probe may legitimately be dropped by the program; only when it
+       is emitted do we learn about the check point *)
+    if summary.Wire.cs_total_seen > 0 && externally_visible > 0 then
+      Error "packet escaped through a broken output interface"
+    else begin
+      if summary.Wire.cs_total_seen > 0 then
+        ok "check point observes packets ahead of the output interfaces (%d seen with all ports dark)"
+          summary.Wire.cs_total_seen
+      else ok "probe dropped by the program; check point wiring verified vacuously";
+      ok "pipeline: %d stages, %d cycles zero-load"
+        (List.length t.compile_report.Sdnet.Compile.pipeline.Target.Pipeline.stages)
+        (Target.Pipeline.total_latency_cycles t.compile_report.Sdnet.Compile.pipeline);
+      Ok (List.rev !facts)
+    end
+  end

@@ -1,0 +1,38 @@
+(** End-to-end deployment of Figure 1: compile a program with the
+    SDNet-style toolchain, instantiate the device, install the
+    control-plane entries, attach the in-device agent (generator +
+    checker) and hand back a host-side controller wired through the
+    management channel. *)
+
+type t = {
+  bundle : P4ir.Programs.bundle;
+  compile_report : Sdnet.Compile.report;
+  device : Target.Device.t;
+  agent : Agent.t;
+  controller : Controller.t;
+}
+
+val deploy :
+  ?quirks:Sdnet.Quirks.t ->
+  ?config:Target.Config.t ->
+  ?install_entries:bool ->
+  P4ir.Programs.bundle ->
+  t
+(** [quirks] defaults to {!Sdnet.Quirks.default} — the shipped toolchain,
+    reject bug included. [install_entries] defaults to true.
+    @raise Invalid_argument when compilation fails. *)
+
+val generator_port : int
+(** The internal source port id test packets carry ([ingress_port] seen by
+    the program when a packet comes from the generator). *)
+
+val spec_oracle :
+  t -> Bitutil.Bitstring.t -> P4ir.Interp.result
+(** Run the reference interpreter on the same program, entries and ingress
+    port the generator uses: the expected-behaviour oracle. *)
+
+val self_check : t -> (string list, string) result
+(** E1 (Figure 1) architecture self-check: the injection point bypasses
+    the input interfaces, the check point observes packets ahead of the
+    output interfaces, and the management channel round-trips. Returns the
+    list of verified facts. *)

@@ -1,0 +1,95 @@
+module Interp = P4ir.Interp
+module Device = Target.Device
+
+type verdict =
+  | Healthy
+  | Dropped_by_program of string
+  | Lost_in of string
+  | Lost_after_check_point of int
+
+type evidence = {
+  e_expected_stages : string list;
+  e_deltas : (string * int64) list;
+  e_emitted : int;
+  e_external : int;
+}
+
+let verdict_to_string = function
+  | Healthy -> "healthy"
+  | Dropped_by_program r -> Printf.sprintf "dropped by the program (%s)" r
+  | Lost_in s -> Printf.sprintf "fault localized in stage '%s'" s
+  | Lost_after_check_point p ->
+      Printf.sprintf "lost after the check point: output interface %d" p
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> invalid_arg ("Localize: " ^ e)
+
+let locate ?(count = 16) (h : Harness.t) ~probe =
+  (* what should happen, per the specification *)
+  let spec =
+    Interp.process h.Harness.bundle.P4ir.Programs.program
+      (Device.runtime h.Harness.device) ~ingress_port:Harness.generator_port probe
+  in
+  match spec.Interp.result with
+  | Interp.Dropped reason ->
+      ( Dropped_by_program reason,
+        { e_expected_stages = []; e_deltas = []; e_emitted = 0; e_external = 0 } )
+  | Interp.Forwarded (spec_port, _) ->
+      let expected_stages =
+        ("parser" :: List.map (fun (t, _, _) -> "ma:" ^ t) spec.Interp.tables)
+        @ [ "egress"; "deparser" ]
+      in
+      let ctl = h.Harness.controller in
+      let read_counters () =
+        let* cs = Controller.read_stage_counters ctl in
+        cs
+      in
+      let seen_of counters stage =
+        match List.assoc_opt (Printf.sprintf "stage/%s/seen" stage) counters with
+        | Some v -> v
+        | None -> 0L
+      in
+      (* drain stale external outputs so we only count our probes *)
+      ignore (Device.outputs h.Harness.device);
+      let before = read_counters () in
+      let* () = Controller.clear_test_state ctl in
+      let* () =
+        Controller.configure_generator ctl [ Controller.stream ~count probe ]
+      in
+      let* () = Controller.start_generator ctl in
+      let after = read_counters () in
+      let* summary = Controller.read_checker ctl in
+      let emitted = summary.Wire.cs_total_seen in
+      let external_outputs =
+        List.filter
+          (fun o -> o.Device.o_source = Device.Generator)
+          (Device.outputs h.Harness.device)
+      in
+      let deltas =
+        List.map
+          (fun s -> (s, Int64.sub (seen_of after s) (seen_of before s)))
+          expected_stages
+      in
+      let evidence =
+        {
+          e_expected_stages = expected_stages;
+          e_deltas = deltas;
+          e_emitted = emitted;
+          e_external = List.length external_outputs;
+        }
+      in
+      let countL = Int64.of_int count in
+      (* last stage that saw the full burst *)
+      let rec last_full prev = function
+        | [] -> prev
+        | (s, d) :: rest -> if d >= countL then last_full (Some s) rest else prev
+      in
+      let full_through = last_full None deltas in
+      let all_full = List.for_all (fun (_, d) -> d >= countL) deltas in
+      if all_full && emitted >= count then
+        if List.length external_outputs >= count then (Healthy, evidence)
+        else (Lost_after_check_point spec_port, evidence)
+      else if all_full (* stages fine but check point starved: deparser ate them *)
+      then (Lost_in "deparser", evidence)
+      else
+        let stage = match full_through with Some s -> s | None -> "parser" in
+        (Lost_in stage, evidence)

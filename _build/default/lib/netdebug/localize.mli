@@ -1,0 +1,31 @@
+(** Fault localization through the internal taps — the paper's claim that
+    "if a bug prevents packets from being correctly forwarded to the
+    output interfaces of the device, users can find where the fault
+    occurred, even inside the data plane".
+
+    The algorithm only uses the management protocol (stage counters,
+    generator, checker): it sends a burst of identical probes, diffs the
+    per-stage counters against the stage sequence the specification says
+    the probe should traverse, and names the first stage where probes went
+    missing. A probe that traverses every stage and reaches the check
+    point but never appears externally indicts the output interface — a
+    diagnosis no port-attached tester can make. *)
+
+type verdict =
+  | Healthy  (** probes forwarded and externally visible *)
+  | Dropped_by_program of string  (** the spec itself drops this probe *)
+  | Lost_in of string  (** first faulty stage *)
+  | Lost_after_check_point of int  (** output interface of this port *)
+
+type evidence = {
+  e_expected_stages : string list;  (** spec traversal order *)
+  e_deltas : (string * int64) list;  (** per-stage seen-counter deltas *)
+  e_emitted : int;  (** packets the check point observed *)
+  e_external : int;  (** packets visible on the wire *)
+}
+
+val locate :
+  ?count:int -> Harness.t -> probe:Bitutil.Bitstring.t -> verdict * evidence
+(** [count] probes (default 16). *)
+
+val verdict_to_string : verdict -> string

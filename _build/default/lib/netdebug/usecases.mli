@@ -1,0 +1,152 @@
+(** The seven validation use-cases of Section 3, implemented on top of the
+    harness. Each returns structured data; the bench harness renders the
+    paper's tables/figures from it. *)
+
+module Functional : sig
+  (** Functional testing: drive directed + fuzz vectors through the device
+      and compare every observable against the expected behaviour — the
+      reference interpreter run on the oracle program (by default the
+      deployed program itself, so any mismatch indicts the toolchain or
+      hardware; pass the intended program as [oracle] to hunt for bugs in
+      the P4 source instead). *)
+
+  type mismatch = {
+    mm_index : int;
+    mm_packet : Bitutil.Bitstring.t;
+    mm_expected : string;
+    mm_got : string;
+  }
+
+  type report = { fr_tested : int; fr_mismatches : mismatch list }
+
+  val run :
+    ?oracle:P4ir.Programs.bundle ->
+    ?vectors:Bitutil.Bitstring.t list ->
+    ?fuzz:int ->
+    ?stateful:bool ->
+    Harness.t ->
+    report
+  (** [vectors] defaults to symbolic-execution path witnesses of the
+      oracle; [fuzz] random packets are appended (default 32).
+      [stateful] (default false) resets the device's registers and threads
+      one register store through the oracle so programs with persistent
+      state (rate limiters, caches) can be validated packet-by-packet. *)
+
+  val passed : report -> bool
+
+  val pp : Format.formatter -> report -> unit
+end
+
+module Performance : sig
+  (** Performance testing: offered-load sweep through the internal
+      generator, measuring throughput, packet rate and latency at the
+      check point. *)
+
+  type point = {
+    pt_offered_gbps : float;
+    pt_achieved_gbps : float;
+    pt_achieved_mpps : float;
+    pt_lat_p50_ns : float;
+    pt_lat_p99_ns : float;
+    pt_sent : int;
+    pt_received : int;
+  }
+
+  val sweep :
+    ?loads:float list ->
+    ?packets_per_point:int ->
+    Harness.t ->
+    probe:Bitutil.Bitstring.t ->
+    point list
+  (** [loads] are fractions of the device line rate
+      (default 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25). *)
+end
+
+module Compiler_check : sig
+  (** Compiler check: a battery of seeded toolchain quirks; each is
+      detected iff functional testing of a quirk-sensitive program reports
+      mismatches against its own specification. *)
+
+  type detection = {
+    dq_quirk : Sdnet.Quirks.quirk option;  (** [None] is the faithful control *)
+    dq_program : string;
+    dq_detected : bool;
+    dq_evidence : string;
+  }
+
+  val sensitive_program : Sdnet.Quirks.quirk -> P4ir.Programs.bundle
+  (** The probe program whose behaviour the quirk perturbs. *)
+
+  val battery : unit -> detection list
+end
+
+module Architecture_check : sig
+  (** Architecture check: probe the target's undocumented limits from the
+      outside by compiling synthesized programs of growing size. *)
+
+  type probe_result = {
+    ar_limit : string;
+    ar_discovered : int;
+    ar_documented : int;
+  }
+
+  val probe : ?config:Target.Config.t -> unit -> probe_result list
+end
+
+module Resources : sig
+  (** Resources quantification: per-program hardware consumption. *)
+
+  type row = {
+    rr_program : string;
+    rr_stages : int;
+    rr_latency_cycles : int;
+    rr_luts : int;
+    rr_ffs : int;
+    rr_brams : int;
+    rr_tcam_bits : int;
+    rr_max_util_pct : float;
+  }
+
+  val inventory :
+    ?config:Target.Config.t -> ?bundles:P4ir.Programs.bundle list -> unit -> row list
+end
+
+module Status : sig
+  (** Status monitoring: periodic internal snapshots while live traffic
+      flows. *)
+
+  val monitor :
+    ?period_packets:int ->
+    ?samples:int ->
+    ?load:float ->
+    Harness.t ->
+    background:Bitutil.Bitstring.t ->
+    Wire.status_summary list
+  (** [load] paces the live traffic as a fraction of line rate
+      (default 0.5). *)
+end
+
+module Comparison : sig
+  (** Comparison: run the same probes through two deployments (e.g. two
+      alternative specifications of one program) and diff every emitted
+      packet. *)
+
+  type divergence = {
+    dv_index : int;
+    dv_probe : Bitutil.Bitstring.t;
+    dv_a : string;
+    dv_b : string;
+  }
+
+  type report = { cr_compared : int; cr_divergences : divergence list }
+
+  val run :
+    ?quirks_a:Sdnet.Quirks.t ->
+    ?quirks_b:Sdnet.Quirks.t ->
+    ?probes:Bitutil.Bitstring.t list ->
+    P4ir.Programs.bundle ->
+    P4ir.Programs.bundle ->
+    report
+
+  val equivalent : report -> bool
+end

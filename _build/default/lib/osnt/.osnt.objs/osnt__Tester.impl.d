@@ -1,0 +1,1 @@
+lib/osnt/tester.ml: Bitutil List Printf Stats String Target

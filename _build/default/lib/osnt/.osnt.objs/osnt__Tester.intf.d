@@ -1,0 +1,1 @@
+lib/osnt/tester.mli: Bitutil Target

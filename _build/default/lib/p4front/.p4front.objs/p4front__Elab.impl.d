@@ -1,0 +1,1 @@
+lib/p4front/elab.ml: Format List P4ir Printf String Syntax

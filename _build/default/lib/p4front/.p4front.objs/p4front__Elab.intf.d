@@ -1,0 +1,1 @@
+lib/p4front/elab.mli: P4ir Syntax

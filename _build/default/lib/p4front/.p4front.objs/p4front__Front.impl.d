@@ -1,0 +1,1 @@
+lib/p4front/front.ml: Elab Filename Format In_channel Lexer P4ir Printf Syntax

@@ -1,0 +1,1 @@
+lib/p4front/front.mli: Format P4ir

@@ -1,0 +1,1 @@
+lib/p4front/lexer.ml: Buffer Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/p4front/lexer.mli:

@@ -1,0 +1,1 @@
+lib/p4front/print.ml: Buffer List P4ir Printf String

@@ -1,0 +1,1 @@
+lib/p4front/syntax.ml: Int64 Lexer List P4ir Printf String

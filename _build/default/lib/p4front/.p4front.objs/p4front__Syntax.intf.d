@@ -1,0 +1,1 @@
+lib/p4front/syntax.mli: P4ir

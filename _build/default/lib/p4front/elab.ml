@@ -1,0 +1,296 @@
+module Ast = P4ir.Ast
+module Value = P4ir.Value
+module Entry = P4ir.Entry
+open Syntax
+
+exception Elab_error of string
+
+let err fmt = Printf.ksprintf (fun msg -> raise (Elab_error msg)) fmt
+
+let std_of_name = function
+  | "ingress_port" -> Ast.Ingress_port
+  | "egress_spec" -> Ast.Egress_spec
+  | "packet_length" -> Ast.Packet_length
+  | "parser_error" -> Ast.Parser_error
+  | f -> err "unknown standard_metadata field %s" f
+
+(* elaboration environment: the program skeleton (for name/width lookups)
+   plus the action parameters in scope *)
+type env = { skel : Ast.program; params : Ast.field_decl list }
+
+let resolve_path env path : Ast.expr =
+  match path with
+  | [ single ] -> (
+      match List.find_opt (fun (p : Ast.field_decl) -> String.equal p.f_name single) env.params with
+      | Some _ -> Ast.Param single
+      | None -> err "unknown identifier %s (not an action parameter in scope)" single)
+  | [ "meta"; f ] -> Ast.Meta f
+  | [ "standard_metadata"; f ] -> Ast.Std (std_of_name f)
+  | [ h; f ] -> Ast.Field (h, f)
+  | p -> err "cannot resolve path %s" (String.concat "." p)
+
+let resolve_lvalue env path : Ast.lvalue =
+  match resolve_path env path with
+  | Ast.Field (h, f) -> Ast.LField (h, f)
+  | Ast.Meta m -> Ast.LMeta m
+  | Ast.Std sf -> Ast.LStd sf
+  | Ast.Param p -> err "cannot assign to action parameter %s" p
+  | _ -> err "bad lvalue"
+
+let width_of env (e : Ast.expr) =
+  match P4ir.Typecheck.expr_width env.skel ~params:env.params e with
+  | Ok w -> w
+  | Error msg -> err "%s" msg
+
+let is_bare = function SInt (_, None) -> true | _ -> false
+
+let rec elab env ?expected (se : sexpr) : Ast.expr =
+  match se with
+  | SInt (v, Some w) -> Ast.Const (Value.make ~width:w v)
+  | SInt (v, None) -> (
+      match expected with
+      | Some w -> Ast.Const (Value.make ~width:w v)
+      | None -> err "cannot infer the width of literal %Ld (write e.g. 16w%Ld)" v v)
+  | SRef path -> resolve_path env path
+  | SValid h -> Ast.Valid h
+  | SUn (Ast.LNot, e) -> Ast.Un (Ast.LNot, elab env ~expected:1 e)
+  | SUn (Ast.BNot, e) -> Ast.Un (Ast.BNot, elab env ?expected e)
+  | SSlice (e, msb, lsb) ->
+      if is_bare e then err "cannot slice a bare literal";
+      Ast.Slice (elab env e, msb, lsb)
+  | SConcat (a, b) ->
+      if is_bare a || is_bare b then err "cannot infer widths in '++' over bare literals";
+      Ast.Concat (elab env a, elab env b)
+  | SBin (op, a, b) -> (
+      match op with
+      | Ast.LAnd | Ast.LOr ->
+          Ast.Bin (op, elab env ~expected:1 a, elab env ~expected:1 b)
+      | Ast.Shl | Ast.Shr ->
+          (* shift amounts default to 8 bits *)
+          Ast.Bin (op, elab env ?expected a, elab env ~expected:8 b)
+      | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> elab2 env op a b None
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.BAnd | Ast.BOr | Ast.BXor ->
+          elab2 env op a b expected)
+
+(* infer bare-literal widths from the other operand *)
+and elab2 env op a b expected =
+  match (is_bare a, is_bare b) with
+  | true, true -> (
+      match expected with
+      | Some w -> Ast.Bin (op, elab env ~expected:w a, elab env ~expected:w b)
+      | None -> err "cannot infer widths of a literal-only expression")
+  | true, false ->
+      let b' = elab env ?expected b in
+      Ast.Bin (op, elab env ~expected:(width_of env b') a, b')
+  | false, true | false, false ->
+      let a' = elab env ?expected a in
+      Ast.Bin (op, a', elab env ~expected:(width_of env a') b)
+
+let reg_decl env name =
+  match Ast.find_register env.skel name with
+  | Some r -> r
+  | None -> err "unknown register %s" name
+
+let counter_exists env name =
+  if not (List.mem name env.skel.Ast.p_counters) then err "unknown counter %s" name
+
+let rec elab_stmt env (ss : sstmt) : Ast.stmt =
+  match ss with
+  | SAssign (path, e) ->
+      let lv = resolve_lvalue env path in
+      let w =
+        match lv with
+        | Ast.LField (h, f) -> width_of env (Ast.Field (h, f))
+        | Ast.LMeta m -> width_of env (Ast.Meta m)
+        | Ast.LStd sf -> Ast.std_width sf
+      in
+      Ast.Assign (lv, elab env ~expected:w e)
+  | SIf (cond, then_, else_) ->
+      Ast.If
+        (elab env ~expected:1 cond, List.map (elab_stmt env) then_,
+         List.map (elab_stmt env) else_)
+  | SApply t -> Ast.Apply t
+  | SSetValid h -> Ast.SetValid h
+  | SSetInvalid h -> Ast.SetInvalid h
+  | SDrop -> Ast.MarkToDrop
+  | SCount c ->
+      counter_exists env c;
+      Ast.Count c
+  | SAssert (cond, msg) -> Ast.Assert (elab env ~expected:1 cond, msg)
+  | SRegRead (reg, dest, idx) ->
+      ignore (reg_decl env reg);
+      Ast.RegRead (resolve_lvalue env dest, reg, elab env ~expected:32 idx)
+  | SRegWrite (reg, idx, v) ->
+      let r = reg_decl env reg in
+      Ast.RegWrite (reg, elab env ~expected:32 idx, elab env ~expected:r.Ast.r_width v)
+
+let elab_const env ~width se =
+  match elab env ~expected:width se with
+  | Ast.Const v ->
+      if Value.width v <> width then err "constant width %d where %d expected" (Value.width v) width
+      else v
+  | _ -> err "expected a constant"
+
+let elab_target = function
+  | ST_accept -> Ast.To_accept
+  | ST_reject -> Ast.To_reject
+  | ST_state s -> Ast.To_state s
+
+let elaborate (sp : sprogram) =
+  (* 1. skeleton: declarations only, so expressions can resolve *)
+  let skel =
+    {
+      Ast.p_name = sp.sp_name;
+      p_headers = sp.sp_headers;
+      p_metadata = sp.sp_metadata;
+      p_parser = [];
+      p_actions = [];
+      p_tables = [];
+      p_ingress = [];
+      p_egress = [];
+      p_deparser = sp.sp_deparser;
+      p_counters = sp.sp_counters;
+      p_registers = sp.sp_registers;
+      p_verify_ipv4_checksum = sp.sp_verify_ipv4;
+      p_update_ipv4_checksum = sp.sp_update_ipv4;
+    }
+  in
+  let env0 = { skel; params = [] } in
+
+  (* 2. actions *)
+  let actions =
+    List.map
+      (fun (name, params, body) ->
+        let env = { env0 with params } in
+        { Ast.a_name = name; a_params = params; a_body = List.map (elab_stmt env) body })
+      sp.sp_actions
+  in
+  let skel = { skel with Ast.p_actions = actions } in
+  let env0 = { skel; params = [] } in
+  let find_action name =
+    match Ast.find_action skel name with
+    | Some a -> a
+    | None -> err "unknown action %s" name
+  in
+
+  (* 3. tables *)
+  let tables =
+    List.map
+      (fun tb ->
+        let keys = List.map (fun (e, kind) -> (elab env0 e, kind)) tb.tb_keys in
+        let dname, dargs = tb.tb_default in
+        let daction = find_action dname in
+        if List.length dargs <> List.length daction.Ast.a_params then
+          err "table %s: default action %s expects %d arguments" tb.tb_name dname
+            (List.length daction.Ast.a_params);
+        let default_args =
+          List.map2
+            (fun se (p : Ast.field_decl) -> elab_const env0 ~width:p.f_width se)
+            dargs daction.Ast.a_params
+        in
+        {
+          Ast.t_name = tb.tb_name;
+          t_keys = keys;
+          t_actions = tb.tb_actions;
+          t_default_action = dname;
+          t_default_args = default_args;
+          t_size = tb.tb_size;
+        })
+      sp.sp_tables
+  in
+  let skel = { skel with Ast.p_tables = tables } in
+  let env0 = { skel; params = [] } in
+
+  (* 4. parser *)
+  let states =
+    List.map
+      (fun st ->
+        let transition =
+          match st.st_transition with
+          | STr_direct t -> Ast.Direct (elab_target t)
+          | STr_select (keys, cases, default) ->
+              let keys = List.map (elab env0) keys in
+              let widths = List.map (width_of env0) keys in
+              let cases =
+                List.map
+                  (fun (keysets, target) ->
+                    if List.length keysets <> List.length widths then
+                      err "state %s: select case arity mismatch" st.st_name;
+                    let sc_keysets =
+                      List.map2
+                        (fun ks w ->
+                          match ks with
+                          | SK_exact se -> (elab_const env0 ~width:w se, None)
+                          | SK_mask (sv, sm) ->
+                              ( elab_const env0 ~width:w sv,
+                                Some (elab_const env0 ~width:w sm) )
+                          | SK_any -> (Value.zero w, Some (Value.zero w)))
+                        keysets widths
+                    in
+                    { Ast.sc_keysets; sc_target = elab_target target })
+                  cases
+              in
+              Ast.Select (keys, cases, elab_target default)
+        in
+        { Ast.ps_name = st.st_name; ps_extracts = st.st_extracts; ps_transition = transition })
+      sp.sp_states
+  in
+
+  (* 5. controls *)
+  let ingress = List.map (elab_stmt env0) sp.sp_ingress in
+  let egress = List.map (elab_stmt env0) sp.sp_egress in
+
+  let program =
+    { skel with Ast.p_parser = states; p_ingress = ingress; p_egress = egress }
+  in
+  (match P4ir.Typecheck.check program with
+  | Ok () -> ()
+  | Error errs ->
+      err "%s"
+        (String.concat "; " (List.map (Format.asprintf "%a" P4ir.Typecheck.pp_error) errs)));
+
+  (* 6. entries *)
+  let env = { env0 with skel = program } in
+  let entries =
+    List.map
+      (fun en ->
+        let tbl =
+          match Ast.find_table program en.en_table with
+          | Some t -> t
+          | None -> err "entries: unknown table %s" en.en_table
+        in
+        let action = find_action en.en_action in
+        if List.length en.en_keys <> List.length tbl.Ast.t_keys then
+          err "entries for %s: expected %d keys, got %d" en.en_table
+            (List.length tbl.Ast.t_keys) (List.length en.en_keys);
+        let keys =
+          List.map2
+            (fun sk (ke, kind) ->
+              let w = width_of env ke in
+              match (sk, (kind : Ast.match_kind)) with
+              | SE_exact se, Ast.Exact -> Entry.exact (elab_const env ~width:w se)
+              | SE_lpm (se, len), Ast.Lpm -> Entry.lpm (elab_const env ~width:w se) len
+              | SE_ternary (sv, sm), Ast.Ternary ->
+                  Entry.ternary (elab_const env ~width:w sv) (elab_const env ~width:w sm)
+              | SE_exact se, Ast.Ternary ->
+                  (* bare value in a ternary slot: exact-match it *)
+                  Entry.ternary (elab_const env ~width:w se) (Value.ones w)
+              | SE_exact se, Ast.Lpm -> Entry.lpm (elab_const env ~width:w se) w
+              | (SE_lpm _ | SE_ternary _), _ ->
+                  err "entries for %s: key form does not match the declared kind"
+                    en.en_table)
+            en.en_keys tbl.Ast.t_keys
+        in
+        if List.length en.en_args <> List.length action.Ast.a_params then
+          err "entries for %s: action %s expects %d arguments" en.en_table en.en_action
+            (List.length action.Ast.a_params);
+        let args =
+          List.map2
+            (fun se (p : Ast.field_decl) -> elab_const env ~width:p.f_width se)
+            en.en_args action.Ast.a_params
+        in
+        ( en.en_table,
+          Entry.make ~priority:en.en_priority ~keys ~action:en.en_action ~args () ))
+      sp.sp_entries
+  in
+  (program, entries)

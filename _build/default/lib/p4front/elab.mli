@@ -1,0 +1,16 @@
+(** Elaboration: resolve names and infer literal widths, turning a surface
+    program into a typechecked {!P4ir.Ast.program} plus its control-plane
+    entries.
+
+    Width inference: explicitly-widthed literals ([16w0x800]) are taken as
+    written; bare literals adopt the width the context demands (assignment
+    left-hand sides, the other operand of a binary operator, select-key
+    widths, action-parameter declarations, register widths, table-key
+    widths for entries). A bare literal with no constraining context is an
+    error. *)
+
+exception Elab_error of string
+
+val elaborate : Syntax.sprogram -> P4ir.Ast.program * (string * P4ir.Entry.t) list
+(** Also runs {!P4ir.Typecheck.check}; its errors are reported as
+    [Elab_error]. *)

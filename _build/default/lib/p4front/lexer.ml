@@ -1,0 +1,270 @@
+type token =
+  | INT of int64 * int option
+  | IDENT of string
+  | STRING of string
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COLON | COMMA | DOT | ARROW
+  | ASSIGN
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH
+  | AMP | PIPE | CARET | TILDE | BANG
+  | AND | OR
+  | SHL | SHR
+  | CONCAT
+  | MASK
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let token_to_string = function
+  | INT (v, None) -> Printf.sprintf "%Ld" v
+  | INT (v, Some w) -> Printf.sprintf "%dw%Ld" w v
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | LBRACE -> "{" | RBRACE -> "}" | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COLON -> ":" | COMMA -> "," | DOT -> "." | ARROW -> "->"
+  | ASSIGN -> "="
+  | EQ -> "==" | NEQ -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | AND -> "&&" | OR -> "||"
+  | SHL -> "<<" | SHR -> ">>"
+  | CONCAT -> "++"
+  | MASK -> "&&&"
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let peek2 cur =
+  if cur.pos + 1 < String.length cur.src then Some cur.src.[cur.pos + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let error cur fmt =
+  Printf.ksprintf (fun msg -> raise (Lex_error (msg, cur.line, cur.col))) fmt
+
+let rec skip_trivia cur =
+  match (peek cur, peek2 cur) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+      advance cur;
+      skip_trivia cur
+  | Some '/', Some '/' ->
+      while peek cur <> None && peek cur <> Some '\n' do
+        advance cur
+      done;
+      skip_trivia cur
+  | Some '/', Some '*' ->
+      advance cur;
+      advance cur;
+      let rec eat () =
+        match (peek cur, peek2 cur) with
+        | Some '*', Some '/' ->
+            advance cur;
+            advance cur
+        | None, _ -> error cur "unterminated comment"
+        | _ ->
+            advance cur;
+            eat ()
+      in
+      eat ();
+      skip_trivia cur
+  | _ -> ()
+
+let lex_number cur =
+  (* raw digits first; shapes: 123, 0x.., 0b.., <w>w<lit>, a.b.c.d *)
+  let start = cur.pos in
+  let read_while pred =
+    let b = Buffer.create 8 in
+    let rec go () =
+      match peek cur with
+      | Some c when pred c ->
+          Buffer.add_char b c;
+          advance cur;
+          go ()
+      | _ -> Buffer.contents b
+    in
+    go ()
+  in
+  let parse_lit s =
+    try Int64.of_string s with Failure _ -> error cur "bad integer literal %s" s
+  in
+  let first = read_while (fun c -> is_hex c || c = 'x' || c = 'b' || c = 'w') in
+  (* width-prefixed: digits 'w' literal *)
+  match String.index_opt first 'w' with
+  | Some wi
+    when wi > 0
+         && String.for_all is_digit (String.sub first 0 wi)
+         && wi < String.length first - 1 ->
+      let width = int_of_string (String.sub first 0 wi) in
+      let lit = String.sub first (wi + 1) (String.length first - wi - 1) in
+      INT (parse_lit lit, Some width)
+  | _ -> (
+      (* dotted quad? *)
+      match peek cur with
+      | Some '.' when String.for_all is_digit first -> (
+          (* could be a.b.c.d *)
+          let save_pos = cur.pos and save_line = cur.line and save_col = cur.col in
+          advance cur;
+          let b = read_while is_digit in
+          match peek cur with
+          | Some '.' ->
+              advance cur;
+              let c = read_while is_digit in
+              (match peek cur with
+              | Some '.' ->
+                  advance cur;
+                  let d = read_while is_digit in
+                  if b = "" || c = "" || d = "" then error cur "bad IPv4 literal";
+                  let quad s =
+                    let v = int_of_string s in
+                    if v > 255 then error cur "IPv4 octet out of range";
+                    Int64.of_int v
+                  in
+                  let v =
+                    List.fold_left
+                      (fun acc o -> Int64.logor (Int64.shift_left acc 8) (quad o))
+                      0L [ first; b; c; d ]
+                  in
+                  INT (v, Some 32)
+              | _ -> error cur "bad IPv4 literal")
+          | _ ->
+              (* not a quad: rewind the dot consumption *)
+              cur.pos <- save_pos;
+              cur.line <- save_line;
+              cur.col <- save_col;
+              INT (parse_lit first, None))
+      | _ ->
+          if String.length first = 0 then error cur "empty number at %d" start;
+          INT (parse_lit first, None))
+
+let lex_string cur =
+  advance cur (* opening quote *);
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | Some '"' ->
+        advance cur;
+        STRING (Buffer.contents b)
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance cur;
+            go ()
+        | Some c ->
+            Buffer.add_char b c;
+            advance cur;
+            go ()
+        | None -> error cur "unterminated string")
+    | Some c ->
+        Buffer.add_char b c;
+        advance cur;
+        go ()
+    | None -> error cur "unterminated string"
+  in
+  go ()
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let emit tok line col = toks := { tok; line; col } :: !toks in
+  let rec loop () =
+    skip_trivia cur;
+    let line = cur.line and col = cur.col in
+    match peek cur with
+    | None -> emit EOF line col
+    | Some c when is_digit c ->
+        emit (lex_number cur) line col;
+        loop ()
+    | Some c when is_ident_start c ->
+        let b = Buffer.create 16 in
+        while (match peek cur with Some c -> is_ident c | None -> false) do
+          Buffer.add_char b (Option.get (peek cur));
+          advance cur
+        done;
+        emit (IDENT (Buffer.contents b)) line col;
+        loop ()
+    | Some '"' ->
+        emit (lex_string cur) line col;
+        loop ()
+    | Some c ->
+        let two ch tok1 tok0 =
+          advance cur;
+          if peek cur = Some ch then begin
+            advance cur;
+            emit tok1 line col
+          end
+          else emit tok0 line col
+        in
+        (match c with
+        | '{' -> advance cur; emit LBRACE line col
+        | '}' -> advance cur; emit RBRACE line col
+        | '(' -> advance cur; emit LPAREN line col
+        | ')' -> advance cur; emit RPAREN line col
+        | '[' -> advance cur; emit LBRACKET line col
+        | ']' -> advance cur; emit RBRACKET line col
+        | ';' -> advance cur; emit SEMI line col
+        | ':' -> advance cur; emit COLON line col
+        | ',' -> advance cur; emit COMMA line col
+        | '.' -> advance cur; emit DOT line col
+        | '~' -> advance cur; emit TILDE line col
+        | '^' -> advance cur; emit CARET line col
+        | '*' -> advance cur; emit STAR line col
+        | '/' -> advance cur; emit SLASH line col
+        | '=' -> two '=' EQ ASSIGN
+        | '!' -> two '=' NEQ BANG
+        | '<' ->
+            advance cur;
+            (match peek cur with
+            | Some '=' -> advance cur; emit LE line col
+            | Some '<' -> advance cur; emit SHL line col
+            | _ -> emit LT line col)
+        | '>' ->
+            advance cur;
+            (match peek cur with
+            | Some '=' -> advance cur; emit GE line col
+            | Some '>' -> advance cur; emit SHR line col
+            | _ -> emit GT line col)
+        | '&' ->
+            advance cur;
+            (match (peek cur, peek2 cur) with
+            | Some '&', Some '&' ->
+                advance cur;
+                advance cur;
+                emit MASK line col
+            | Some '&', _ ->
+                advance cur;
+                emit AND line col
+            | _ -> emit AMP line col)
+        | '|' -> two '|' OR PIPE
+        | '+' -> two '+' CONCAT PLUS
+        | '-' ->
+            advance cur;
+            if peek cur = Some '>' then begin
+              advance cur;
+              emit ARROW line col
+            end
+            else emit MINUS line col
+        | c -> error cur "unexpected character %c" c);
+        loop ()
+  in
+  loop ();
+  List.rev !toks

@@ -1,0 +1,29 @@
+(** Lexer for the P4-flavoured concrete syntax. *)
+
+type token =
+  | INT of int64 * int option  (** value, optional explicit width ([16w0x800]) *)
+  | IDENT of string
+  | STRING of string
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COLON | COMMA | DOT | ARROW
+  | ASSIGN  (** = *)
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH
+  | AMP | PIPE | CARET | TILDE | BANG
+  | AND | OR  (** && || *)
+  | SHL | SHR
+  | CONCAT  (** ++ *)
+  | MASK  (** &&& *)
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int  (** message, line, col *)
+
+val tokenize : string -> located list
+(** Comments: [// ...] and [/* ... */]. Integer literals: decimal, [0x...],
+    [0b...], width-prefixed [8w255] / [16w0x800], and IPv4 dotted quads
+    ([10.0.0.1] lexes as a 32-bit INT).
+    @raise Lex_error on malformed input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,11 @@
+(** Render an IR program (and its control-plane entries) in the concrete
+    syntax {!Syntax.parse} accepts.
+
+    The output is fully parenthesized and every literal carries an explicit
+    width, so the round trip [parse (print p) = p] holds structurally — the
+    test suite enforces it for the whole program library. *)
+
+val program_to_source :
+  ?entries:(string * P4ir.Entry.t) list -> P4ir.Ast.program -> string
+
+val bundle_to_source : P4ir.Programs.bundle -> string

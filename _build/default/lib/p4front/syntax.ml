@@ -1,0 +1,740 @@
+module Ast = P4ir.Ast
+
+type sexpr =
+  | SInt of int64 * int option
+  | SRef of string list
+  | SBin of Ast.binop * sexpr * sexpr
+  | SUn of Ast.unop * sexpr
+  | SSlice of sexpr * int * int
+  | SConcat of sexpr * sexpr
+  | SValid of string
+
+type sstmt =
+  | SAssign of string list * sexpr
+  | SIf of sexpr * sstmt list * sstmt list
+  | SApply of string
+  | SSetValid of string
+  | SSetInvalid of string
+  | SDrop
+  | SCount of string
+  | SAssert of sexpr * string
+  | SRegRead of string * string list * sexpr
+  | SRegWrite of string * sexpr * sexpr
+
+type skeyset = SK_exact of sexpr | SK_mask of sexpr * sexpr | SK_any
+
+type starget = ST_accept | ST_reject | ST_state of string
+
+type sstate = { st_name : string; st_extracts : string list; st_transition : strans }
+
+and strans =
+  | STr_direct of starget
+  | STr_select of sexpr list * (skeyset list * starget) list * starget
+
+type stable = {
+  tb_name : string;
+  tb_keys : (sexpr * Ast.match_kind) list;
+  tb_actions : string list;
+  tb_default : string * sexpr list;
+  tb_size : int;
+}
+
+type sentry_key = SE_exact of sexpr | SE_lpm of sexpr * int | SE_ternary of sexpr * sexpr
+
+type sentry = {
+  en_table : string;
+  en_priority : int;
+  en_keys : sentry_key list;
+  en_action : string;
+  en_args : sexpr list;
+}
+
+type sprogram = {
+  sp_name : string;
+  sp_headers : Ast.header_decl list;
+  sp_metadata : Ast.field_decl list;
+  sp_registers : Ast.register_decl list;
+  sp_counters : string list;
+  sp_states : sstate list;
+  sp_actions : (string * Ast.field_decl list * sstmt list) list;
+  sp_tables : stable list;
+  sp_ingress : sstmt list;
+  sp_egress : sstmt list;
+  sp_deparser : string list;
+  sp_verify_ipv4 : bool;
+  sp_update_ipv4 : bool;
+  sp_entries : sentry list;
+}
+
+exception Parse_error of string * int * int
+
+(* ---------------- token stream ---------------- *)
+
+type stream = { mutable toks : Lexer.located list }
+
+let peek s = match s.toks with t :: _ -> t | [] -> assert false
+
+
+let next s =
+  match s.toks with
+  | t :: rest ->
+      if t.Lexer.tok <> Lexer.EOF then s.toks <- rest;
+      t
+  | [] -> assert false
+
+let fail s fmt =
+  let t = peek s in
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "%s (found %s)" msg (Lexer.token_to_string t.Lexer.tok),
+             t.Lexer.line, t.Lexer.col )))
+    fmt
+
+let expect s tok what =
+  let t = next s in
+  if t.Lexer.tok <> tok then
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected %s, found %s" what (Lexer.token_to_string t.Lexer.tok),
+           t.Lexer.line, t.Lexer.col ))
+
+let ident s =
+  match (peek s).Lexer.tok with
+  | Lexer.IDENT name ->
+      ignore (next s);
+      name
+  | _ -> fail s "expected identifier"
+
+let expect_kw s name =
+  let got = ident s in
+  if not (String.equal got name) then fail s "expected keyword '%s', got '%s'" name got
+
+(* '>>' may close two nested angle brackets, as in register<bit<32>>(...) *)
+let expect_close_angle s =
+  match (peek s).Lexer.tok with
+  | Lexer.GT -> ignore (next s)
+  | Lexer.SHR -> (
+      match s.toks with
+      | t :: rest -> s.toks <- { t with Lexer.tok = Lexer.GT } :: rest
+      | [] -> assert false)
+  | _ -> fail s "expected '>'"
+
+let int_lit s =
+  match (peek s).Lexer.tok with
+  | Lexer.INT (v, _) ->
+      ignore (next s);
+      Int64.to_int v
+  | _ -> fail s "expected integer"
+
+let accept s tok = if (peek s).Lexer.tok = tok then (ignore (next s); true) else false
+
+(* ---------------- expressions ---------------- *)
+
+(* path := IDENT (DOT IDENT)* ; also swallows ".isValid()" *)
+let rec parse_path_or_valid s =
+  let first = ident s in
+  let rec go acc =
+    if (peek s).Lexer.tok = Lexer.DOT then begin
+      ignore (next s);
+      let part = ident s in
+      if String.equal part "isValid" then begin
+        expect s Lexer.LPAREN "(";
+        expect s Lexer.RPAREN ")";
+        `Valid (String.concat "." (List.rev acc))
+      end
+      else go (part :: acc)
+    end
+    else `Path (List.rev acc)
+  in
+  go [ first ]
+
+and parse_primary s =
+  match (peek s).Lexer.tok with
+  | Lexer.INT (v, w) ->
+      ignore (next s);
+      SInt (v, w)
+  | Lexer.LPAREN ->
+      ignore (next s);
+      let e = parse_expr s in
+      expect s Lexer.RPAREN ")";
+      parse_postfix s e
+  | Lexer.BANG ->
+      ignore (next s);
+      SUn (Ast.LNot, parse_primary s)
+  | Lexer.TILDE ->
+      ignore (next s);
+      SUn (Ast.BNot, parse_primary s)
+  | Lexer.IDENT _ -> (
+      match parse_path_or_valid s with
+      | `Valid h -> SValid h
+      | `Path p -> parse_postfix s (SRef p))
+  | _ -> fail s "expected expression"
+
+and parse_postfix s e =
+  if (peek s).Lexer.tok = Lexer.LBRACKET then begin
+    ignore (next s);
+    let msb = int_lit s in
+    expect s Lexer.COLON ":";
+    let lsb = int_lit s in
+    expect s Lexer.RBRACKET "]";
+    parse_postfix s (SSlice (e, msb, lsb))
+  end
+  else e
+
+(* precedence climbing *)
+and parse_binary s min_level =
+  let level_of = function
+    | Lexer.OR -> Some (1, Ast.LOr)
+    | Lexer.AND -> Some (2, Ast.LAnd)
+    | Lexer.EQ -> Some (3, Ast.Eq)
+    | Lexer.NEQ -> Some (3, Ast.Neq)
+    | Lexer.LT -> Some (4, Ast.Lt)
+    | Lexer.LE -> Some (4, Ast.Le)
+    | Lexer.GT -> Some (4, Ast.Gt)
+    | Lexer.GE -> Some (4, Ast.Ge)
+    | Lexer.PIPE -> Some (5, Ast.BOr)
+    | Lexer.CARET -> Some (6, Ast.BXor)
+    | Lexer.AMP -> Some (7, Ast.BAnd)
+    | Lexer.SHL -> Some (8, Ast.Shl)
+    | Lexer.SHR -> Some (8, Ast.Shr)
+    | Lexer.PLUS -> Some (10, Ast.Add)
+    | Lexer.MINUS -> Some (10, Ast.Sub)
+    | Lexer.STAR -> Some (11, Ast.Mul)
+    | _ -> None
+  in
+  let lhs = ref (parse_primary s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek s).Lexer.tok with
+    | Lexer.CONCAT when 9 >= min_level ->
+        ignore (next s);
+        let rhs = parse_binary s 10 in
+        lhs := SConcat (!lhs, rhs)
+    | tok -> (
+        match level_of tok with
+        | Some (level, op) when level >= min_level ->
+            ignore (next s);
+            let rhs = parse_binary s (level + 1) in
+            lhs := SBin (op, !lhs, rhs)
+        | _ -> continue_ := false)
+  done;
+  !lhs
+
+and parse_expr s = parse_binary s 1
+
+(* ---------------- statements ---------------- *)
+
+let rec parse_stmt s : sstmt =
+  match (peek s).Lexer.tok with
+  | Lexer.IDENT "if" -> parse_if s
+  | Lexer.IDENT "apply" ->
+      ignore (next s);
+      expect s Lexer.LPAREN "(";
+      let t = ident s in
+      expect s Lexer.RPAREN ")";
+      expect s Lexer.SEMI ";";
+      SApply t
+  | Lexer.IDENT "mark_to_drop" ->
+      ignore (next s);
+      expect s Lexer.LPAREN "(";
+      ignore (accept s (Lexer.IDENT "standard_metadata"));
+      expect s Lexer.RPAREN ")";
+      expect s Lexer.SEMI ";";
+      SDrop
+  | Lexer.IDENT "count" ->
+      ignore (next s);
+      expect s Lexer.LPAREN "(";
+      let c = ident s in
+      expect s Lexer.RPAREN ")";
+      expect s Lexer.SEMI ";";
+      SCount c
+  | Lexer.IDENT "assert" ->
+      ignore (next s);
+      expect s Lexer.LPAREN "(";
+      let cond = parse_expr s in
+      let msg =
+        if accept s Lexer.COMMA then
+          match (next s).Lexer.tok with
+          | Lexer.STRING m -> m
+          | _ -> fail s "expected string message"
+        else "assert"
+      in
+      expect s Lexer.RPAREN ")";
+      expect s Lexer.SEMI ";";
+      SAssert (cond, msg)
+  | Lexer.IDENT _ -> parse_ident_stmt s
+  | _ -> fail s "expected statement"
+
+and parse_if s =
+  expect_kw s "if";
+  expect s Lexer.LPAREN "(";
+  let cond = parse_expr s in
+  expect s Lexer.RPAREN ")";
+  let then_ = parse_block s in
+  let else_ =
+    if (peek s).Lexer.tok = Lexer.IDENT "else" then begin
+      ignore (next s);
+      if (peek s).Lexer.tok = Lexer.IDENT "if" then [ parse_if s ] else parse_block s
+    end
+    else []
+  in
+  SIf (cond, then_, else_)
+
+and parse_block s =
+  expect s Lexer.LBRACE "{";
+  let rec go acc =
+    if (peek s).Lexer.tok = Lexer.RBRACE then begin
+      ignore (next s);
+      List.rev acc
+    end
+    else go (parse_stmt s :: acc)
+  in
+  go []
+
+(* statement starting with a (possibly dotted) identifier: assignment or a
+   method call (x.apply() / x.count() / reg.read / reg.write /
+   hdr.setValid / hdr.setInvalid) *)
+and parse_ident_stmt s =
+  let first = ident s in
+  let rec parts acc =
+    if (peek s).Lexer.tok = Lexer.DOT then begin
+      ignore (next s);
+      parts (ident s :: acc)
+    end
+    else List.rev acc
+  in
+  let path = parts [ first ] in
+  match (peek s).Lexer.tok with
+  | Lexer.ASSIGN ->
+      ignore (next s);
+      let e = parse_expr s in
+      expect s Lexer.SEMI ";";
+      SAssign (path, e)
+  | Lexer.LPAREN -> (
+      (* last component is the method *)
+      match List.rev path with
+      | meth :: rev_obj when rev_obj <> [] -> (
+          let obj = List.rev rev_obj in
+          let obj_name = String.concat "." obj in
+          ignore (next s);
+          match meth with
+          | "apply" ->
+              expect s Lexer.RPAREN ")";
+              expect s Lexer.SEMI ";";
+              SApply obj_name
+          | "count" ->
+              expect s Lexer.RPAREN ")";
+              expect s Lexer.SEMI ";";
+              SCount obj_name
+          | "setValid" ->
+              expect s Lexer.RPAREN ")";
+              expect s Lexer.SEMI ";";
+              SSetValid obj_name
+          | "setInvalid" ->
+              expect s Lexer.RPAREN ")";
+              expect s Lexer.SEMI ";";
+              SSetInvalid obj_name
+          | "read" ->
+              (* reg.read(dest, idx); *)
+              let dest =
+                match parse_path_or_valid s with
+                | `Path p -> p
+                | `Valid _ -> fail s "register read destination cannot be isValid()"
+              in
+              expect s Lexer.COMMA ",";
+              let idx = parse_expr s in
+              expect s Lexer.RPAREN ")";
+              expect s Lexer.SEMI ";";
+              SRegRead (obj_name, dest, idx)
+          | "write" ->
+              let idx = parse_expr s in
+              expect s Lexer.COMMA ",";
+              let v = parse_expr s in
+              expect s Lexer.RPAREN ")";
+              expect s Lexer.SEMI ";";
+              SRegWrite (obj_name, idx, v)
+          | m -> fail s "unknown method '%s'" m)
+      | _ -> fail s "bare call is not a statement")
+  | _ -> fail s "expected '=' or method call after identifier"
+
+(* ---------------- declarations ---------------- *)
+
+let parse_bit_type s =
+  expect_kw s "bit";
+  expect s Lexer.LT "<";
+  let w = int_lit s in
+  expect_close_angle s;
+  w
+
+let parse_fields s =
+  expect s Lexer.LBRACE "{";
+  let rec go acc =
+    if (peek s).Lexer.tok = Lexer.RBRACE then begin
+      ignore (next s);
+      List.rev acc
+    end
+    else begin
+      let w = parse_bit_type s in
+      let name = ident s in
+      expect s Lexer.SEMI ";";
+      go ({ Ast.f_name = name; f_width = w } :: acc)
+    end
+  in
+  go []
+
+let parse_target s =
+  match ident s with
+  | "accept" -> ST_accept
+  | "reject" -> ST_reject
+  | name -> ST_state name
+
+let parse_state s =
+  expect_kw s "state";
+  let name = ident s in
+  expect s Lexer.LBRACE "{";
+  let extracts = ref [] in
+  while (peek s).Lexer.tok = Lexer.IDENT "extract" do
+    ignore (next s);
+    expect s Lexer.LPAREN "(";
+    extracts := ident s :: !extracts;
+    expect s Lexer.RPAREN ")";
+    expect s Lexer.SEMI ";"
+  done;
+  expect_kw s "transition";
+  let transition =
+    if (peek s).Lexer.tok = Lexer.IDENT "select" then begin
+      ignore (next s);
+      expect s Lexer.LPAREN "(";
+      let rec keys acc =
+        let k = parse_expr s in
+        if accept s Lexer.COMMA then keys (k :: acc) else List.rev (k :: acc)
+      in
+      let keys = keys [] in
+      expect s Lexer.RPAREN ")";
+      expect s Lexer.LBRACE "{";
+      let default = ref ST_reject in
+      let cases = ref [] in
+      let parse_keyset () =
+        match (peek s).Lexer.tok with
+        | Lexer.IDENT "_" ->
+            ignore (next s);
+            SK_any
+        | _ ->
+            let v = parse_expr s in
+            if accept s Lexer.MASK then SK_mask (v, parse_expr s) else SK_exact v
+      in
+      let rec go () =
+        if (peek s).Lexer.tok = Lexer.RBRACE then ignore (next s)
+        else begin
+          (if (peek s).Lexer.tok = Lexer.IDENT "default" then begin
+             ignore (next s);
+             expect s Lexer.COLON ":";
+             default := parse_target s
+           end
+           else begin
+             let parenthesized = accept s Lexer.LPAREN in
+             let rec ks acc =
+               let k = parse_keyset () in
+               if accept s Lexer.COMMA then ks (k :: acc) else List.rev (k :: acc)
+             in
+             let keysets = ks [] in
+             if parenthesized then expect s Lexer.RPAREN ")";
+             expect s Lexer.COLON ":";
+             let target = parse_target s in
+             cases := (keysets, target) :: !cases
+           end);
+          expect s Lexer.SEMI ";";
+          go ()
+        end
+      in
+      go ();
+      STr_select (keys, List.rev !cases, !default)
+    end
+    else begin
+      let t = parse_target s in
+      STr_direct t
+    end
+  in
+  (match transition with
+  | STr_direct _ -> expect s Lexer.SEMI ";"
+  | STr_select _ -> ());
+  expect s Lexer.RBRACE "}";
+  { st_name = name; st_extracts = List.rev !extracts; st_transition = transition }
+
+let parse_action s =
+  let name = ident s in
+  expect s Lexer.LPAREN "(";
+  let rec params acc =
+    if (peek s).Lexer.tok = Lexer.RPAREN then begin
+      ignore (next s);
+      List.rev acc
+    end
+    else begin
+      let w = parse_bit_type s in
+      let pname = ident s in
+      let acc = { Ast.f_name = pname; f_width = w } :: acc in
+      if accept s Lexer.COMMA then params acc
+      else begin
+        expect s Lexer.RPAREN ")";
+        List.rev acc
+      end
+    end
+  in
+  let params = params [] in
+  let body = parse_block s in
+  (name, params, body)
+
+let parse_args s =
+  expect s Lexer.LPAREN "(";
+  if accept s Lexer.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr s in
+      if accept s Lexer.COMMA then go (e :: acc)
+      else begin
+        expect s Lexer.RPAREN ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_table s =
+  let name = ident s in
+  expect s Lexer.LBRACE "{";
+  let keys = ref [] and actions = ref [] and default = ref None and size = ref 1024 in
+  let rec go () =
+    if (peek s).Lexer.tok = Lexer.RBRACE then ignore (next s)
+    else begin
+      (match ident s with
+      | "key" ->
+          expect s Lexer.ASSIGN "=";
+          expect s Lexer.LBRACE "{";
+          let rec keys_loop () =
+            if (peek s).Lexer.tok = Lexer.RBRACE then ignore (next s)
+            else begin
+              let e = parse_expr s in
+              expect s Lexer.COLON ":";
+              let kind =
+                match ident s with
+                | "exact" -> Ast.Exact
+                | "lpm" -> Ast.Lpm
+                | "ternary" -> Ast.Ternary
+                | k -> fail s "unknown match kind '%s'" k
+              in
+              expect s Lexer.SEMI ";";
+              keys := (e, kind) :: !keys;
+              keys_loop ()
+            end
+          in
+          keys_loop ()
+      | "actions" ->
+          expect s Lexer.ASSIGN "=";
+          expect s Lexer.LBRACE "{";
+          let rec acts () =
+            if (peek s).Lexer.tok = Lexer.RBRACE then ignore (next s)
+            else begin
+              actions := ident s :: !actions;
+              expect s Lexer.SEMI ";";
+              acts ()
+            end
+          in
+          acts ()
+      | "default_action" ->
+          expect s Lexer.ASSIGN "=";
+          let a = ident s in
+          let args = if (peek s).Lexer.tok = Lexer.LPAREN then parse_args s else [] in
+          expect s Lexer.SEMI ";";
+          default := Some (a, args)
+      | "size" ->
+          expect s Lexer.ASSIGN "=";
+          size := int_lit s;
+          expect s Lexer.SEMI ";"
+      | k -> fail s "unknown table property '%s'" k);
+      go ()
+    end
+  in
+  go ();
+  let default =
+    match !default with Some d -> d | None -> fail s "table %s: missing default_action" name
+  in
+  {
+    tb_name = name;
+    tb_keys = List.rev !keys;
+    tb_actions = List.rev !actions;
+    tb_default = default;
+    tb_size = !size;
+  }
+
+let parse_entry_key s =
+  let v = parse_expr s in
+  if accept s Lexer.SLASH then SE_lpm (v, int_lit s)
+  else if accept s Lexer.MASK then SE_ternary (v, parse_expr s)
+  else SE_exact v
+
+let parse_entries s =
+  expect s Lexer.LBRACE "{";
+  let entries = ref [] in
+  let rec tables () =
+    if (peek s).Lexer.tok = Lexer.RBRACE then ignore (next s)
+    else begin
+      let table = ident s in
+      expect s Lexer.LBRACE "{";
+      let rec rows () =
+        if (peek s).Lexer.tok = Lexer.RBRACE then ignore (next s)
+        else begin
+          let priority =
+            if (peek s).Lexer.tok = Lexer.IDENT "priority" then begin
+              ignore (next s);
+              let p = int_lit s in
+              expect s Lexer.COLON ":";
+              p
+            end
+            else 0
+          in
+          let keys =
+            if (peek s).Lexer.tok = Lexer.ARROW then []
+            else begin
+              let rec go acc =
+                let k = parse_entry_key s in
+                if accept s Lexer.COMMA then go (k :: acc) else List.rev (k :: acc)
+              in
+              go []
+            end
+          in
+          expect s Lexer.ARROW "->";
+          let action = ident s in
+          let args = if (peek s).Lexer.tok = Lexer.LPAREN then parse_args s else [] in
+          expect s Lexer.SEMI ";";
+          entries :=
+            { en_table = table; en_priority = priority; en_keys = keys;
+              en_action = action; en_args = args }
+            :: !entries;
+          rows ()
+        end
+      in
+      rows ();
+      tables ()
+    end
+  in
+  tables ();
+  List.rev !entries
+
+let parse ~name src =
+  let s = { toks = Lexer.tokenize src } in
+  let headers = ref [] and metadata = ref [] and registers = ref [] in
+  let counters = ref [] and states = ref [] and actions = ref [] in
+  let tables = ref [] and ingress = ref [] and egress = ref [] in
+  let deparser = ref [] and verify = ref false and update = ref false in
+  let entries = ref [] in
+  let rec toplevel () =
+    match (peek s).Lexer.tok with
+    | Lexer.EOF -> ()
+    | Lexer.IDENT "header" ->
+        ignore (next s);
+        let hname = ident s in
+        let fields = parse_fields s in
+        headers := { Ast.h_name = hname; h_fields = fields } :: !headers;
+        toplevel ()
+    | Lexer.IDENT "struct" ->
+        ignore (next s);
+        expect_kw s "metadata";
+        metadata := !metadata @ parse_fields s;
+        toplevel ()
+    | Lexer.IDENT "register" ->
+        ignore (next s);
+        expect s Lexer.LT "<";
+        let w = parse_bit_type s in
+        expect_close_angle s;
+        expect s Lexer.LPAREN "(";
+        let size = int_lit s in
+        expect s Lexer.RPAREN ")";
+        let rname = ident s in
+        expect s Lexer.SEMI ";";
+        registers := { Ast.r_name = rname; r_width = w; r_size = size } :: !registers;
+        toplevel ()
+    | Lexer.IDENT "counter" ->
+        ignore (next s);
+        counters := ident s :: !counters;
+        expect s Lexer.SEMI ";";
+        toplevel ()
+    | Lexer.IDENT "parser" ->
+        ignore (next s);
+        expect s Lexer.LBRACE "{";
+        while (peek s).Lexer.tok = Lexer.IDENT "state" do
+          states := parse_state s :: !states
+        done;
+        expect s Lexer.RBRACE "}";
+        toplevel ()
+    | Lexer.IDENT "action" ->
+        ignore (next s);
+        actions := parse_action s :: !actions;
+        toplevel ()
+    | Lexer.IDENT "table" ->
+        ignore (next s);
+        tables := parse_table s :: !tables;
+        toplevel ()
+    | Lexer.IDENT "control" ->
+        ignore (next s);
+        (match ident s with
+        | "ingress" -> ingress := parse_block s
+        | "egress" -> egress := parse_block s
+        | c -> fail s "unknown control '%s' (want ingress/egress)" c);
+        toplevel ()
+    | Lexer.IDENT "deparser" ->
+        ignore (next s);
+        expect s Lexer.LBRACE "{";
+        let rec emits () =
+          if (peek s).Lexer.tok = Lexer.RBRACE then ignore (next s)
+          else begin
+            expect_kw s "emit";
+            expect s Lexer.LPAREN "(";
+            deparser := ident s :: !deparser;
+            expect s Lexer.RPAREN ")";
+            expect s Lexer.SEMI ";";
+            emits ()
+          end
+        in
+        emits ();
+        toplevel ()
+    | Lexer.IDENT "checksum" ->
+        ignore (next s);
+        expect s Lexer.LBRACE "{";
+        let rec pragmas () =
+          if (peek s).Lexer.tok = Lexer.RBRACE then ignore (next s)
+          else begin
+            (match ident s with
+            | "verify_ipv4" -> verify := true
+            | "update_ipv4" -> update := true
+            | p -> fail s "unknown checksum pragma '%s'" p);
+            expect s Lexer.SEMI ";";
+            pragmas ()
+          end
+        in
+        pragmas ();
+        toplevel ()
+    | Lexer.IDENT "entries" ->
+        ignore (next s);
+        entries := !entries @ parse_entries s;
+        toplevel ()
+    | _ -> fail s "expected a top-level declaration"
+  in
+  toplevel ();
+  {
+    sp_name = name;
+    sp_headers = List.rev !headers;
+    sp_metadata = !metadata;
+    sp_registers = List.rev !registers;
+    sp_counters = List.rev !counters;
+    sp_states = List.rev !states;
+    sp_actions = List.rev !actions;
+    sp_tables = List.rev !tables;
+    sp_ingress = !ingress;
+    sp_egress = !egress;
+    sp_deparser = List.rev !deparser;
+    sp_verify_ipv4 = !verify;
+    sp_update_ipv4 = !update;
+    sp_entries = !entries;
+  }

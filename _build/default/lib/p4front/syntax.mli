@@ -1,0 +1,80 @@
+(** Surface syntax tree and recursive-descent parser.
+
+    The surface tree is untyped: integer literals may lack widths and
+    dotted paths are unresolved. {!Elab} turns it into a checked
+    {!P4ir.Ast.program}. *)
+
+type sexpr =
+  | SInt of int64 * int option
+  | SRef of string list  (** dotted path *)
+  | SBin of P4ir.Ast.binop * sexpr * sexpr
+  | SUn of P4ir.Ast.unop * sexpr
+  | SSlice of sexpr * int * int
+  | SConcat of sexpr * sexpr
+  | SValid of string
+
+type sstmt =
+  | SAssign of string list * sexpr
+  | SIf of sexpr * sstmt list * sstmt list
+  | SApply of string
+  | SSetValid of string
+  | SSetInvalid of string
+  | SDrop
+  | SCount of string
+  | SAssert of sexpr * string
+  | SRegRead of string * string list * sexpr
+  | SRegWrite of string * sexpr * sexpr
+
+type skeyset = SK_exact of sexpr | SK_mask of sexpr * sexpr | SK_any
+
+type starget = ST_accept | ST_reject | ST_state of string
+
+type sstate = {
+  st_name : string;
+  st_extracts : string list;
+  st_transition : strans;
+}
+
+and strans =
+  | STr_direct of starget
+  | STr_select of sexpr list * (skeyset list * starget) list * starget
+
+type stable = {
+  tb_name : string;
+  tb_keys : (sexpr * P4ir.Ast.match_kind) list;
+  tb_actions : string list;
+  tb_default : string * sexpr list;
+  tb_size : int;
+}
+
+type sentry_key = SE_exact of sexpr | SE_lpm of sexpr * int | SE_ternary of sexpr * sexpr
+
+type sentry = {
+  en_table : string;
+  en_priority : int;
+  en_keys : sentry_key list;
+  en_action : string;
+  en_args : sexpr list;
+}
+
+type sprogram = {
+  sp_name : string;
+  sp_headers : P4ir.Ast.header_decl list;
+  sp_metadata : P4ir.Ast.field_decl list;
+  sp_registers : P4ir.Ast.register_decl list;
+  sp_counters : string list;
+  sp_states : sstate list;
+  sp_actions : (string * P4ir.Ast.field_decl list * sstmt list) list;
+  sp_tables : stable list;
+  sp_ingress : sstmt list;
+  sp_egress : sstmt list;
+  sp_deparser : string list;
+  sp_verify_ipv4 : bool;
+  sp_update_ipv4 : bool;
+  sp_entries : sentry list;
+}
+
+exception Parse_error of string * int * int  (** message, line, col *)
+
+val parse : name:string -> string -> sprogram
+(** @raise Parse_error / @raise Lexer.Lex_error on malformed input. *)

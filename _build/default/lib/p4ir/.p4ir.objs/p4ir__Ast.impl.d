@@ -1,0 +1,1 @@
+lib/p4ir/ast.ml: List String Value

@@ -1,0 +1,1 @@
+lib/p4ir/deparse.ml: Ast Bitutil Env List Option Printf Value

@@ -1,0 +1,1 @@
+lib/p4ir/deparse.mli: Bitutil Env

@@ -1,0 +1,1 @@
+lib/p4ir/dsl.ml: Ast Value

@@ -1,0 +1,1 @@
+lib/p4ir/entry.ml: Format Int64 List Value

@@ -1,0 +1,1 @@
+lib/p4ir/entry.mli: Format Value

@@ -1,0 +1,1 @@
+lib/p4ir/env.ml: Ast Bitutil Fun Hashtbl List Printf Stdmeta Value

@@ -1,0 +1,1 @@
+lib/p4ir/env.mli: Ast Bitutil Value

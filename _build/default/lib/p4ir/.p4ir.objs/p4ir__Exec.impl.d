@@ -1,0 +1,1 @@
+lib/p4ir/exec.ml: Ast Entry Env Fun List Printf Regstate Runtime Stdmeta Value

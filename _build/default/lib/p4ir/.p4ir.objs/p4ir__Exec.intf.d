@@ -1,0 +1,1 @@
+lib/p4ir/exec.mli: Ast Env Regstate Runtime Value

@@ -1,0 +1,1 @@
+lib/p4ir/interp.ml: Ast Bitutil Deparse Env Exec Hashtbl List Option Parse Stdmeta Value

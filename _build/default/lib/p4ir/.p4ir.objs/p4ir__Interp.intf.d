@@ -1,0 +1,1 @@
+lib/p4ir/interp.mli: Ast Bitutil Parse Regstate Runtime

@@ -1,0 +1,1 @@
+lib/p4ir/parse.ml: Ast Bitutil Env Exec List Printf Stdmeta Value

@@ -1,0 +1,1 @@
+lib/p4ir/parse.mli: Bitutil Exec

@@ -1,0 +1,1 @@
+lib/p4ir/pp.ml: Ast Format List String Value

@@ -1,0 +1,1 @@
+lib/p4ir/pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/p4ir/programs.ml: Ast Dsl Entry Int64 List String Value

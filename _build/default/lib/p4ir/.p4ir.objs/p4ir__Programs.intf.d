@@ -1,0 +1,1 @@
+lib/p4ir/programs.mli: Ast Entry

@@ -1,0 +1,1 @@
+lib/p4ir/regstate.ml: Array Ast Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/p4ir/regstate.mli: Ast Value

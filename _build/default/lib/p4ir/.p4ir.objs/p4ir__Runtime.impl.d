@@ -1,0 +1,1 @@
+lib/p4ir/runtime.ml: Ast Entry Hashtbl List Printf String Value

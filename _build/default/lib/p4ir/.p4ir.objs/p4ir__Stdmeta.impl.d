@@ -1,0 +1,1 @@
+lib/p4ir/stdmeta.ml: Printf

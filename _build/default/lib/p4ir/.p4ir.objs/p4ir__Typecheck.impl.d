@@ -1,0 +1,1 @@
+lib/p4ir/typecheck.ml: Ast Format List Printf Result String Value

@@ -1,0 +1,1 @@
+lib/p4ir/typecheck.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/p4ir/value.mli: Format

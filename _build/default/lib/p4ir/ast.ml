@@ -1,0 +1,157 @@
+(** Abstract syntax of the P4-16-style intermediate representation.
+
+    This module only defines types; semantics live in {!Interp} (the
+    language-spec reference) and in the target pipeline produced by the
+    SDNet-style compiler. The subset is modelled on P4-16's core: fixed-size
+    headers, a parser as a finite state machine with [accept]/[reject]
+    terminals and [select] transitions, match-action tables with
+    exact/LPM/ternary keys, and ingress/egress controls followed by a
+    deparser that emits valid headers in order. *)
+
+type width = int
+
+type field_decl = { f_name : string; f_width : width }
+
+type header_decl = { h_name : string; h_fields : field_decl list }
+
+(** Standard metadata, the architecture-supplied per-packet state
+    (a small subset of v1model's [standard_metadata_t]). *)
+type std_field =
+  | Ingress_port  (** 9 bits *)
+  | Egress_spec  (** 9 bits; the drop port is {!Stdmeta.drop_port} *)
+  | Packet_length  (** 32 bits, bytes *)
+  | Parser_error  (** 4 bits, see {!Stdmeta.error_none} etc. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | LAnd
+  | LOr
+
+type unop = BNot | LNot
+
+type expr =
+  | Const of Value.t
+  | Field of string * string  (** header.field; reading an invalid header gives 0 *)
+  | Meta of string  (** user metadata field *)
+  | Std of std_field
+  | Param of string  (** action parameter, bound at entry-install time *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Slice of expr * int * int  (** msb, lsb *)
+  | Concat of expr * expr
+  | Valid of string  (** header validity as a 1-bit value *)
+
+type lvalue = LField of string * string | LMeta of string | LStd of std_field
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | Apply of string  (** apply a table *)
+  | SetValid of string
+  | SetInvalid of string
+  | MarkToDrop  (** set egress_spec to the drop port *)
+  | Count of string  (** increment a declared counter *)
+  | Assert of expr * string  (** verification annotation; no runtime effect *)
+  | RegRead of lvalue * string * expr  (** lvalue := register\[index\] *)
+  | RegWrite of string * expr * expr  (** register\[index\] := value *)
+  | Nop
+
+type action = {
+  a_name : string;
+  a_params : field_decl list;  (** runtime arguments supplied by table entries *)
+  a_body : stmt list;
+}
+
+type match_kind = Exact | Lpm | Ternary
+
+type table = {
+  t_name : string;
+  t_keys : (expr * match_kind) list;
+  t_actions : string list;  (** permitted action names *)
+  t_default_action : string;
+  t_default_args : Value.t list;
+  t_size : int;  (** capacity requested from the target *)
+}
+
+(** Parser transition targets. *)
+type ptarget = To_state of string | To_accept | To_reject
+
+(** One [select] case: a (value, optional mask) per key expression. *)
+type select_case = { sc_keysets : (Value.t * Value.t option) list; sc_target : ptarget }
+
+type transition =
+  | Direct of ptarget
+  | Select of expr list * select_case list * ptarget  (** keys, cases, default *)
+
+type parser_state = {
+  ps_name : string;
+  ps_extracts : string list;  (** headers extracted, in order *)
+  ps_transition : transition;
+}
+
+(** A stateful register array (v1model [register<bit<W>>(size)]). State
+    persists across packets in whichever executor owns it; out-of-range
+    indices read zero and ignore writes (hardware address-decoder
+    behaviour). *)
+type register_decl = { r_name : string; r_width : width; r_size : int }
+
+type program = {
+  p_name : string;
+  p_headers : header_decl list;
+  p_metadata : field_decl list;
+  p_parser : parser_state list;  (** head of the list is the start state *)
+  p_actions : action list;
+  p_tables : table list;
+  p_ingress : stmt list;
+  p_egress : stmt list;
+  p_deparser : string list;  (** headers emitted (when valid), in order *)
+  p_counters : string list;
+  p_registers : register_decl list;
+  p_verify_ipv4_checksum : bool;
+      (** when true and a header named "ipv4" is extracted, the architecture
+          verifies its checksum during parsing and rejects on mismatch *)
+  p_update_ipv4_checksum : bool;
+      (** when true and a header named "ipv4" is valid at deparse time, the
+          architecture recomputes its checksum field before emission *)
+}
+
+let find_header p name = List.find_opt (fun h -> String.equal h.h_name name) p.p_headers
+
+let find_field hd name = List.find_opt (fun f -> String.equal f.f_name name) hd.h_fields
+
+let find_action p name = List.find_opt (fun a -> String.equal a.a_name name) p.p_actions
+
+let find_table p name = List.find_opt (fun t -> String.equal t.t_name name) p.p_tables
+
+let find_state p name = List.find_opt (fun s -> String.equal s.ps_name name) p.p_parser
+
+let find_meta p name = List.find_opt (fun f -> String.equal f.f_name name) p.p_metadata
+
+let find_register p name = List.find_opt (fun r -> String.equal r.r_name name) p.p_registers
+
+let header_width hd = List.fold_left (fun acc f -> acc + f.f_width) 0 hd.h_fields
+
+let std_width = function
+  | Ingress_port -> 9
+  | Egress_spec -> 9
+  | Packet_length -> 32
+  | Parser_error -> 4
+
+let std_name = function
+  | Ingress_port -> "ingress_port"
+  | Egress_spec -> "egress_spec"
+  | Packet_length -> "packet_length"
+  | Parser_error -> "parser_error"

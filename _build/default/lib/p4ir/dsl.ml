@@ -1,0 +1,99 @@
+(** Concise constructors for building IR programs in OCaml.
+
+    Used by {!Programs} and by tests; keeps program definitions close to
+    P4 source in shape. *)
+
+open Ast
+
+let bit width name : field_decl = { f_name = name; f_width = width }
+
+let header name fields : header_decl = { h_name = name; h_fields = fields }
+
+(* expressions *)
+
+let vint ~width v = Value.of_int ~width v
+
+let const ~width v : expr = Const (Value.of_int ~width v)
+
+let const64 ~width v : expr = Const (Value.make ~width v)
+
+let fld h f : expr = Field (h, f)
+
+let meta m : expr = Meta m
+
+let std sf : expr = Std sf
+
+let param p : expr = Param p
+
+let valid h : expr = Valid h
+
+let ( ==: ) a b : expr = Bin (Eq, a, b)
+let ( <>: ) a b : expr = Bin (Neq, a, b)
+let ( <: ) a b : expr = Bin (Lt, a, b)
+let ( <=: ) a b : expr = Bin (Le, a, b)
+let ( >: ) a b : expr = Bin (Gt, a, b)
+let ( >=: ) a b : expr = Bin (Ge, a, b)
+let ( +: ) a b : expr = Bin (Add, a, b)
+let ( -: ) a b : expr = Bin (Sub, a, b)
+let ( &&: ) a b : expr = Bin (LAnd, a, b)
+let ( ||: ) a b : expr = Bin (LOr, a, b)
+let band a b : expr = Bin (BAnd, a, b)
+let bor a b : expr = Bin (BOr, a, b)
+let bxor a b : expr = Bin (BXor, a, b)
+let lnot e : expr = Un (LNot, e)
+
+(* statements *)
+
+let set_field h f e : stmt = Assign (LField (h, f), e)
+
+let set_meta m e : stmt = Assign (LMeta m, e)
+
+let set_std sf e : stmt = Assign (LStd sf, e)
+
+let set_egress e : stmt = Assign (LStd Egress_spec, e)
+
+let egress_port port : stmt = Assign (LStd Egress_spec, const ~width:9 port)
+
+let if_ cond then_ else_ : stmt = If (cond, then_, else_)
+
+let when_ cond then_ : stmt = If (cond, then_, [])
+
+let apply t : stmt = Apply t
+
+let drop : stmt = MarkToDrop
+
+let count c : stmt = Count c
+
+let assert_ cond msg : stmt = Assert (cond, msg)
+
+(* actions and tables *)
+
+let action name params body : action = { a_name = name; a_params = params; a_body = body }
+
+let table ?(size = 1024) name keys actions ~default ?(default_args = []) () : table =
+  {
+    t_name = name;
+    t_keys = keys;
+    t_actions = actions;
+    t_default_action = default;
+    t_default_args = default_args;
+    t_size = size;
+  }
+
+(* parser *)
+
+let state name ?(extracts = []) transition : parser_state =
+  { ps_name = name; ps_extracts = extracts; ps_transition = transition }
+
+let goto s : transition = Direct (To_state s)
+
+let accept : transition = Direct To_accept
+
+let reject : transition = Direct To_reject
+
+let select keys cases ~default : transition = Select (keys, cases, default)
+
+let case ?mask v target : select_case =
+  { sc_keysets = [ (v, mask) ]; sc_target = target }
+
+let case_n keysets target : select_case = { sc_keysets = keysets; sc_target = target }

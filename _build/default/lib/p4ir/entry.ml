@@ -1,0 +1,68 @@
+type mkey =
+  | Exact_v of Value.t
+  | Lpm_v of Value.t * int
+  | Ternary_v of Value.t * Value.t
+
+type t = { priority : int; keys : mkey list; action : string; args : Value.t list }
+
+let make ?(priority = 0) ~keys ~action ?(args = []) () = { priority; keys; action; args }
+
+let exact v = Exact_v v
+
+let lpm v len = Lpm_v (v, len)
+
+let ternary v m = Ternary_v (v, m)
+
+let key_matches ?(degrade_ternary_to_exact = false) mk v =
+  match mk with
+  | Exact_v e -> Value.to_int64 e = Value.to_int64 v
+  | Lpm_v (e, len) -> Value.matches_prefix v ~value:(Value.to_int64 e) ~prefix_len:len
+  | Ternary_v (e, m) ->
+      if degrade_ternary_to_exact then Value.to_int64 e = Value.to_int64 v
+      else Value.matches_mask v ~value:(Value.to_int64 e) ~mask:(Value.to_int64 m)
+
+let matches ?degrade_ternary_to_exact t vs =
+  List.length t.keys = List.length vs
+  && List.for_all2 (fun mk v -> key_matches ?degrade_ternary_to_exact mk v) t.keys vs
+
+let popcount v =
+  let rec go acc v = if v = 0L then acc else go (acc + 1) Int64.(logand v (sub v 1L)) in
+  go 0 v
+
+let specificity t =
+  List.fold_left
+    (fun acc mk ->
+      acc
+      +
+      match mk with
+      | Exact_v v -> Value.width v
+      | Lpm_v (_, len) -> len
+      | Ternary_v (_, m) -> popcount (Value.to_int64 m))
+    0 t.keys
+
+let select ?degrade_ternary_to_exact entries vs =
+  let best = ref None in
+  List.iter
+    (fun e ->
+      if matches ?degrade_ternary_to_exact e vs then
+        match !best with
+        | None -> best := Some e
+        | Some b ->
+            if
+              e.priority > b.priority
+              || (e.priority = b.priority && specificity e > specificity b)
+            then best := Some e)
+    entries;
+  !best
+
+let pp_mkey ppf = function
+  | Exact_v v -> Format.fprintf ppf "=%a" Value.pp v
+  | Lpm_v (v, len) -> Format.fprintf ppf "%a/%d" Value.pp v len
+  | Ternary_v (v, m) -> Format.fprintf ppf "%a&&&%a" Value.pp v Value.pp m
+
+let pp ppf t =
+  Format.fprintf ppf "@[prio=%d [%a] -> %s(%a)@]" t.priority
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_mkey)
+    t.keys t.action
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+    t.args

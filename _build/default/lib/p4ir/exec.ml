@@ -1,0 +1,137 @@
+type phase = Ingress | Egress
+
+type hooks = {
+  shift_amount : int -> int;
+  drop_effective : phase -> bool;
+  degrade_ternary_to_exact : bool;
+  table_always_miss : string -> bool;
+}
+
+let spec_hooks =
+  {
+    shift_amount = Fun.id;
+    drop_effective = (fun _ -> true);
+    degrade_ternary_to_exact = false;
+    table_always_miss = (fun _ -> false);
+  }
+
+type ctx = {
+  env : Env.t;
+  runtime : Runtime.t;
+  regs : Regstate.t;
+  hooks : hooks;
+  mutable phase : phase;
+  on_count : string -> unit;
+  on_assert : bool -> string -> unit;
+  on_table : table:string -> hit:bool -> action:string -> unit;
+}
+
+let make_ctx ?(hooks = spec_hooks) ?(on_count = fun _ -> ()) ?(on_assert = fun _ _ -> ())
+    ?(on_table = fun ~table:_ ~hit:_ ~action:_ -> ()) ?regs ~env ~runtime () =
+  let regs = match regs with Some r -> r | None -> Regstate.create (Env.program env) in
+  { env; runtime; regs; hooks; phase = Ingress; on_count; on_assert; on_table }
+
+let env ctx = ctx.env
+
+let set_phase ctx phase = ctx.phase <- phase
+
+let rec eval ctx (e : Ast.expr) : Value.t =
+  match e with
+  | Const v -> v
+  | Field (h, f) -> Env.get_field ctx.env h f
+  | Meta m -> Env.get_meta ctx.env m
+  | Std sf -> Env.get_std ctx.env sf
+  | Param p -> Env.get_param ctx.env p
+  | Valid h -> Value.of_bool (Env.is_valid ctx.env h)
+  | Un (BNot, e1) -> Value.lognot (eval ctx e1)
+  | Un (LNot, e1) -> Value.of_bool (not (Value.to_bool (eval ctx e1)))
+  | Slice (e1, msb, lsb) -> Value.slice (eval ctx e1) ~msb ~lsb
+  | Concat (e1, e2) -> Value.concat (eval ctx e1) (eval ctx e2)
+  | Bin (LAnd, e1, e2) ->
+      if Value.to_bool (eval ctx e1) then Value.of_bool (Value.to_bool (eval ctx e2))
+      else Value.fls
+  | Bin (LOr, e1, e2) ->
+      if Value.to_bool (eval ctx e1) then Value.tru
+      else Value.of_bool (Value.to_bool (eval ctx e2))
+  | Bin (Shl, e1, e2) ->
+      let amount = ctx.hooks.shift_amount (Value.to_int (eval ctx e2)) in
+      Value.shift_left (eval ctx e1) amount
+  | Bin (Shr, e1, e2) ->
+      let amount = ctx.hooks.shift_amount (Value.to_int (eval ctx e2)) in
+      Value.shift_right (eval ctx e1) amount
+  | Bin (op, e1, e2) -> (
+      let a = eval ctx e1 and b = eval ctx e2 in
+      match op with
+      | Add -> Value.add a b
+      | Sub -> Value.sub a b
+      | Mul -> Value.mul a b
+      | BAnd -> Value.logand a b
+      | BOr -> Value.logor a b
+      | BXor -> Value.logxor a b
+      | Eq -> Value.eq a b
+      | Neq -> Value.neq a b
+      | Lt -> Value.lt a b
+      | Le -> Value.le a b
+      | Gt -> Value.gt a b
+      | Ge -> Value.ge a b
+      | Shl | Shr | LAnd | LOr -> assert false)
+
+let assign ctx (lv : Ast.lvalue) v =
+  match lv with
+  | LField (h, f) -> Env.set_field ctx.env h f v
+  | LMeta m -> Env.set_meta ctx.env m v
+  | LStd sf -> Env.set_std ctx.env sf v
+
+let rec run_stmts ctx stmts = List.iter (run_stmt ctx) stmts
+
+and run_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Nop -> ()
+  | Assign (lv, e) -> assign ctx lv (eval ctx e)
+  | If (cond, then_, else_) ->
+      if Value.to_bool (eval ctx cond) then run_stmts ctx then_ else run_stmts ctx else_
+  | SetValid h -> Env.set_valid ctx.env h
+  | SetInvalid h -> Env.set_invalid ctx.env h
+  | MarkToDrop ->
+      if ctx.hooks.drop_effective ctx.phase then
+        Env.set_std ctx.env Ast.Egress_spec (Value.of_int ~width:9 Stdmeta.drop_port)
+  | Count c -> ctx.on_count c
+  | Assert (cond, msg) -> ctx.on_assert (Value.to_bool (eval ctx cond)) msg
+  | RegRead (lv, reg, idx) ->
+      let i = Value.to_int (eval ctx idx) in
+      assign ctx lv (Regstate.read ctx.regs reg i)
+  | RegWrite (reg, idx, value) ->
+      let i = Value.to_int (eval ctx idx) in
+      Regstate.write ctx.regs reg i (eval ctx value)
+  | Apply table -> apply_table ctx table
+
+and run_action ctx name args =
+  match Ast.find_action (Env.program ctx.env) name with
+  | None -> invalid_arg (Printf.sprintf "Exec: undeclared action %s" name)
+  | Some action ->
+      if List.length args <> List.length action.a_params then
+        invalid_arg (Printf.sprintf "Exec: action %s arity mismatch" name);
+      let bindings =
+        List.map2
+          (fun (p : Ast.field_decl) arg ->
+            (p.f_name, Value.make ~width:p.f_width (Value.to_int64 arg)))
+          action.a_params args
+      in
+      Env.with_params ctx.env bindings (fun () -> run_stmts ctx action.a_body)
+
+and apply_table ctx name =
+  match Ast.find_table (Env.program ctx.env) name with
+  | None -> invalid_arg (Printf.sprintf "Exec: undeclared table %s" name)
+  | Some tbl ->
+      let keys = List.map (fun (e, _) -> eval ctx e) tbl.t_keys in
+      let entries =
+        if ctx.hooks.table_always_miss name then [] else Runtime.entries ctx.runtime name
+      in
+      let degrade_ternary_to_exact = ctx.hooks.degrade_ternary_to_exact in
+      (match Entry.select ~degrade_ternary_to_exact entries keys with
+      | Some e ->
+          ctx.on_table ~table:name ~hit:true ~action:e.Entry.action;
+          run_action ctx e.Entry.action e.Entry.args
+      | None ->
+          ctx.on_table ~table:name ~hit:false ~action:tbl.t_default_action;
+          run_action ctx tbl.t_default_action tbl.t_default_args)

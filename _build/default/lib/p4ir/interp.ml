@@ -1,0 +1,60 @@
+type result = Forwarded of int * Bitutil.Bitstring.t | Dropped of string
+
+type observation = {
+  result : result;
+  parser : Parse.outcome;
+  tables : (string * bool * string) list;
+  counters : (string * int) list;
+  failed_asserts : string list;
+}
+
+let process ?regs program runtime ~ingress_port bits =
+  let env = Env.create program in
+  let counters = Hashtbl.create 4 in
+  let tables = ref [] in
+  let failed_asserts = ref [] in
+  let on_count c =
+    Hashtbl.replace counters c (1 + Option.value ~default:0 (Hashtbl.find_opt counters c))
+  in
+  let on_assert ok msg = if not ok then failed_asserts := msg :: !failed_asserts in
+  let on_table ~table ~hit ~action = tables := (table, hit, action) :: !tables in
+  let ctx = Exec.make_ctx ~on_count ~on_assert ~on_table ?regs ~env ~runtime () in
+  Env.set_std env Ast.Ingress_port (Value.of_int ~width:9 ingress_port);
+  let finish result =
+    {
+      result;
+      parser =
+        {
+          Parse.accepted = true;
+          error = Value.to_int (Env.get_std env Ast.Parser_error);
+          states_visited = [];
+        };
+      tables = List.rev !tables;
+      counters = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters [];
+      failed_asserts = List.rev !failed_asserts;
+    }
+  in
+  let parser_outcome = Parse.run ctx bits in
+  if not parser_outcome.Parse.accepted then
+    { (finish (Dropped ("parser:" ^ Stdmeta.error_name parser_outcome.Parse.error))) with
+      parser = parser_outcome }
+  else begin
+    Exec.set_phase ctx Exec.Ingress;
+    Exec.run_stmts ctx program.Ast.p_ingress;
+    if Env.dropped env then { (finish (Dropped "ingress")) with parser = parser_outcome }
+    else begin
+      Exec.set_phase ctx Exec.Egress;
+      Exec.run_stmts ctx program.Ast.p_egress;
+      if Env.dropped env then { (finish (Dropped "egress")) with parser = parser_outcome }
+      else begin
+        let port = Value.to_int (Env.get_std env Ast.Egress_spec) in
+        let out = Deparse.run env in
+        { (finish (Forwarded (port, out))) with parser = parser_outcome }
+      end
+    end
+  end
+
+let forward ?regs program runtime ~ingress_port bits =
+  match (process ?regs program runtime ~ingress_port bits).result with
+  | Forwarded (port, out) -> Some (port, out)
+  | Dropped _ -> None

@@ -1,0 +1,139 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | BAnd -> "&"
+  | BOr -> "|"
+  | BXor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | LAnd -> "&&"
+  | LOr -> "||"
+
+let rec pp_expr ppf = function
+  | Const v -> Value.pp ppf v
+  | Field (h, f) -> Format.fprintf ppf "hdr.%s.%s" h f
+  | Meta m -> Format.fprintf ppf "meta.%s" m
+  | Std sf -> Format.fprintf ppf "standard_metadata.%s" (std_name sf)
+  | Param p -> Format.pp_print_string ppf p
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Un (BNot, e) -> Format.fprintf ppf "~%a" pp_expr e
+  | Un (LNot, e) -> Format.fprintf ppf "!%a" pp_expr e
+  | Slice (e, msb, lsb) -> Format.fprintf ppf "%a[%d:%d]" pp_expr e msb lsb
+  | Concat (a, b) -> Format.fprintf ppf "(%a ++ %a)" pp_expr a pp_expr b
+  | Valid h -> Format.fprintf ppf "hdr.%s.isValid()" h
+
+let pp_lvalue ppf = function
+  | LField (h, f) -> Format.fprintf ppf "hdr.%s.%s" h f
+  | LMeta m -> Format.fprintf ppf "meta.%s" m
+  | LStd sf -> Format.fprintf ppf "standard_metadata.%s" (std_name sf)
+
+let rec pp_stmt ppf = function
+  | Nop -> Format.fprintf ppf "nop;"
+  | Assign (lv, e) -> Format.fprintf ppf "%a = %a;" pp_lvalue lv pp_expr e
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_stmts t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c
+        pp_stmts t pp_stmts e
+  | Apply t -> Format.fprintf ppf "%s.apply();" t
+  | SetValid h -> Format.fprintf ppf "hdr.%s.setValid();" h
+  | SetInvalid h -> Format.fprintf ppf "hdr.%s.setInvalid();" h
+  | MarkToDrop -> Format.fprintf ppf "mark_to_drop(standard_metadata);"
+  | Count c -> Format.fprintf ppf "%s.count();" c
+  | Assert (e, msg) -> Format.fprintf ppf "@assert(%a) // %s" pp_expr e msg
+  | RegRead (lv, reg, idx) ->
+      Format.fprintf ppf "%s.read(%a, (bit<32>)%a);" reg pp_lvalue lv pp_expr idx
+  | RegWrite (reg, idx, v) ->
+      Format.fprintf ppf "%s.write((bit<32>)%a, %a);" reg pp_expr idx pp_expr v
+
+and pp_stmts ppf stmts =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,") pp_stmt ppf stmts
+
+let pp_action ppf a =
+  let pp_param ppf (p : field_decl) = Format.fprintf ppf "bit<%d> %s" p.f_width p.f_name in
+  Format.fprintf ppf "@[<v 2>action %s(%a) {@,%a@]@,}" a.a_name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_param)
+    a.a_params pp_stmts a.a_body
+
+let match_kind_str = function Exact -> "exact" | Lpm -> "lpm" | Ternary -> "ternary"
+
+let pp_table ppf t =
+  Format.fprintf ppf "@[<v 2>table %s {@," t.t_name;
+  Format.fprintf ppf "@[<v 2>key = {@,%a@]@,}@,"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+       (fun ppf (e, k) -> Format.fprintf ppf "%a : %s;" pp_expr e (match_kind_str k)))
+    t.t_keys;
+  Format.fprintf ppf "actions = { %s };@," (String.concat "; " t.t_actions);
+  Format.fprintf ppf "default_action = %s;@," t.t_default_action;
+  Format.fprintf ppf "size = %d;@]@,}" t.t_size
+
+let pp_target ppf = function
+  | To_state s -> Format.pp_print_string ppf s
+  | To_accept -> Format.pp_print_string ppf "accept"
+  | To_reject -> Format.pp_print_string ppf "reject"
+
+let pp_parser_state ppf s =
+  Format.fprintf ppf "@[<v 2>state %s {@," s.ps_name;
+  List.iter (fun h -> Format.fprintf ppf "packet.extract(hdr.%s);@," h) s.ps_extracts;
+  (match s.ps_transition with
+  | Direct t -> Format.fprintf ppf "transition %a;" pp_target t
+  | Select (keys, cases, default) ->
+      Format.fprintf ppf "@[<v 2>transition select(%a) {@,"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_expr)
+        keys;
+      List.iter
+        (fun c ->
+          let pp_keyset ppf (v, m) =
+            match m with
+            | None -> Value.pp ppf v
+            | Some m -> Format.fprintf ppf "%a &&& %a" Value.pp v Value.pp m
+          in
+          Format.fprintf ppf "(%a): %a;@,"
+            (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_keyset)
+            c.sc_keysets pp_target c.sc_target)
+        cases;
+      Format.fprintf ppf "default: %a;@]@,}" pp_target default);
+  Format.fprintf ppf "@]@,}"
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>// program %s@," p.p_name;
+  List.iter
+    (fun hd ->
+      Format.fprintf ppf "@[<v 2>header %s {@,%a@]@,}@," hd.h_name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+           (fun ppf (f : field_decl) -> Format.fprintf ppf "bit<%d> %s;" f.f_width f.f_name))
+        hd.h_fields)
+    p.p_headers;
+  if p.p_metadata <> [] then
+    Format.fprintf ppf "@[<v 2>struct metadata {@,%a@]@,}@,"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+         (fun ppf (f : field_decl) -> Format.fprintf ppf "bit<%d> %s;" f.f_width f.f_name))
+      p.p_metadata;
+  List.iter
+    (fun (r : register_decl) ->
+      Format.fprintf ppf "register<bit<%d>>(%d) %s;@," r.r_width r.r_size r.r_name)
+    p.p_registers;
+  Format.fprintf ppf "@[<v 2>parser MyParser {@,%a@]@,}@,"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,") pp_parser_state)
+    p.p_parser;
+  List.iter (fun a -> Format.fprintf ppf "%a@," pp_action a) p.p_actions;
+  List.iter (fun t -> Format.fprintf ppf "%a@," pp_table t) p.p_tables;
+  Format.fprintf ppf "@[<v 2>control MyIngress {@,%a@]@,}@," pp_stmts p.p_ingress;
+  Format.fprintf ppf "@[<v 2>control MyEgress {@,%a@]@,}@," pp_stmts p.p_egress;
+  Format.fprintf ppf "@[<v 2>control MyDeparser {@,";
+  List.iter (fun h -> Format.fprintf ppf "packet.emit(hdr.%s);@," h) p.p_deparser;
+  Format.fprintf ppf "@]}@]"
+
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,10 @@
+(** Rendering of IR programs in a P4-16-flavoured concrete syntax, for
+    reports, documentation and debugging. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_table : Format.formatter -> Ast.table -> unit
+val pp_action : Format.formatter -> Ast.action -> unit
+val pp_parser_state : Format.formatter -> Ast.parser_state -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string

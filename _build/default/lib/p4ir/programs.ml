@@ -1,0 +1,1042 @@
+open Dsl
+
+type bundle = {
+  program : Ast.program;
+  entries : (string * Entry.t) list;
+  description : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared header declarations (layouts match the packet library)       *)
+(* ------------------------------------------------------------------ *)
+
+let eth_h = header "eth" [ bit 48 "dst"; bit 48 "src"; bit 16 "ethertype" ]
+
+let vlan_h = header "vlan" [ bit 3 "pcp"; bit 1 "dei"; bit 12 "vid"; bit 16 "ethertype" ]
+
+let ipv4_h =
+  header "ipv4"
+    [
+      bit 4 "version"; bit 4 "ihl"; bit 6 "dscp"; bit 2 "ecn"; bit 16 "total_len";
+      bit 16 "ident"; bit 3 "flags"; bit 13 "frag_offset"; bit 8 "ttl"; bit 8 "protocol";
+      bit 16 "checksum"; bit 32 "src"; bit 32 "dst";
+    ]
+
+let tcp_h =
+  header "tcp"
+    [
+      bit 16 "src_port"; bit 16 "dst_port"; bit 32 "seq"; bit 32 "ack";
+      bit 4 "data_offset"; bit 4 "reserved"; bit 8 "flags"; bit 16 "window";
+      bit 16 "checksum"; bit 16 "urgent";
+    ]
+
+let udp_h =
+  header "udp" [ bit 16 "src_port"; bit 16 "dst_port"; bit 16 "length"; bit 16 "checksum" ]
+
+let mpls_h = header "mpls" [ bit 20 "label"; bit 3 "tc"; bit 1 "bos"; bit 8 "ttl" ]
+
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+let ethertype_vlan = 0x8100
+let ethertype_mpls = 0x8847
+let ethertype_calc = 0x1234
+
+let et v = vint ~width:16 v
+
+let mac v = Value.make ~width:48 v
+
+let ip a b c d =
+  Value.make ~width:32
+    (Int64.of_int ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d))
+
+let port p = vint ~width:9 p
+
+(* ------------------------------------------------------------------ *)
+(* basic_router                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let router_actions ~decrement_ttl =
+  [
+    action "set_nexthop"
+      [ bit 9 "out_port"; bit 48 "dmac" ]
+      ([
+         assert_ (fld "ipv4" "ttl" >: const ~width:8 0) "ttl positive before decrement";
+         set_std Ast.Egress_spec (param "out_port");
+         set_field "eth" "src" (fld "eth" "dst");
+         set_field "eth" "dst" (param "dmac");
+       ]
+      @ (if decrement_ttl then
+           [ set_field "ipv4" "ttl" (fld "ipv4" "ttl" -: const ~width:8 1) ]
+         else [])
+      @ [ count "ipv4_routed" ]);
+    action "drop_packet" [] [ drop; count "ipv4_miss" ];
+  ]
+
+let router_parser =
+  [
+    state "start" ~extracts:[ "eth" ]
+      (select
+         [ fld "eth" "ethertype" ]
+         [ case (et ethertype_ipv4) (Ast.To_state "parse_ipv4") ]
+         ~default:Ast.To_reject);
+    state "parse_ipv4" ~extracts:[ "ipv4" ]
+      (select
+         [ fld "ipv4" "version" ]
+         [ case (vint ~width:4 4) Ast.To_accept ]
+         ~default:Ast.To_reject);
+  ]
+
+let router_ingress =
+  [
+    if_ (valid "ipv4")
+      [
+        if_
+          (fld "ipv4" "ttl" <=: const ~width:8 1)
+          [ drop; count "ttl_expired" ]
+          [ apply "ipv4_lpm" ];
+      ]
+      [ drop ];
+  ]
+
+let router_entries =
+  [
+    ( "ipv4_lpm",
+      Entry.make
+        ~keys:[ Entry.lpm (ip 10 0 0 0) 8 ]
+        ~action:"set_nexthop"
+        ~args:[ port 1; mac 0x0A0000000001L ]
+        () );
+    ( "ipv4_lpm",
+      Entry.make
+        ~keys:[ Entry.lpm (ip 10 1 0 0) 16 ]
+        ~action:"set_nexthop"
+        ~args:[ port 2; mac 0x0A0000000002L ]
+        () );
+    ( "ipv4_lpm",
+      Entry.make
+        ~keys:[ Entry.lpm (ip 192 168 0 0) 16 ]
+        ~action:"set_nexthop"
+        ~args:[ port 3; mac 0x0A0000000003L ]
+        () );
+  ]
+
+let basic_router =
+  {
+    program =
+      {
+        Ast.p_name = "basic_router";
+        p_headers = [ eth_h; ipv4_h ];
+        p_metadata = [];
+        p_parser = router_parser;
+        p_actions = router_actions ~decrement_ttl:true;
+        p_tables =
+          [
+            table "ipv4_lpm"
+              [ (fld "ipv4" "dst", Ast.Lpm) ]
+              [ "set_nexthop"; "drop_packet" ]
+              ~default:"drop_packet" ();
+          ];
+        p_ingress = router_ingress;
+        p_egress = [];
+        p_deparser = [ "eth"; "ipv4" ];
+        p_counters = [ "ipv4_routed"; "ipv4_miss"; "ttl_expired" ];
+        p_registers = [];
+        p_verify_ipv4_checksum = true;
+        p_update_ipv4_checksum = true;
+      };
+    entries = router_entries;
+    description = "IPv4 LPM router (reject non-IPv4, verify checksum, decrement TTL)";
+  }
+
+let buggy_router =
+  {
+    program =
+      {
+        basic_router.program with
+        Ast.p_name = "buggy_router";
+        p_actions = router_actions ~decrement_ttl:false;
+      };
+    entries = router_entries;
+    description = "basic_router with a seeded functional bug: TTL never decremented";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* router_split: same function, alternative two-table specification    *)
+(* ------------------------------------------------------------------ *)
+
+let router_split =
+  let program =
+    {
+      Ast.p_name = "router_split";
+      p_headers = [ eth_h; ipv4_h ];
+      p_metadata = [ bit 16 "nh_id" ];
+      p_parser = router_parser;
+      p_actions =
+        [
+          action "set_nh" [ bit 16 "id" ] [ set_meta "nh_id" (param "id") ];
+          action "set_port"
+            [ bit 9 "out_port"; bit 48 "dmac" ]
+            [
+              set_std Ast.Egress_spec (param "out_port");
+              set_field "eth" "src" (fld "eth" "dst");
+              set_field "eth" "dst" (param "dmac");
+              set_field "ipv4" "ttl" (fld "ipv4" "ttl" -: const ~width:8 1);
+              count "ipv4_routed";
+            ];
+          action "drop_packet" [] [ drop; count "ipv4_miss" ];
+        ];
+      p_tables =
+        [
+          table "ipv4_lpm"
+            [ (fld "ipv4" "dst", Ast.Lpm) ]
+            [ "set_nh"; "drop_packet" ]
+            ~default:"drop_packet" ();
+          table "nexthop"
+            [ (meta "nh_id", Ast.Exact) ]
+            [ "set_port"; "drop_packet" ]
+            ~default:"drop_packet" ();
+        ];
+      p_ingress =
+        [
+          if_ (valid "ipv4")
+            [
+              if_
+                (fld "ipv4" "ttl" <=: const ~width:8 1)
+                [ drop; count "ttl_expired" ]
+                [
+                  apply "ipv4_lpm";
+                  if_
+                    (meta "nh_id" <>: const ~width:16 0)
+                    [ apply "nexthop" ] [ drop ];
+                ];
+            ]
+            [ drop ];
+        ];
+      p_egress = [];
+      p_deparser = [ "eth"; "ipv4" ];
+      p_counters = [ "ipv4_routed"; "ipv4_miss"; "ttl_expired" ];
+        p_registers = [];
+      p_verify_ipv4_checksum = true;
+      p_update_ipv4_checksum = true;
+    }
+  in
+  let entries =
+    [
+      ("ipv4_lpm",
+       Entry.make ~keys:[ Entry.lpm (ip 10 0 0 0) 8 ] ~action:"set_nh"
+         ~args:[ vint ~width:16 1 ] ());
+      ("ipv4_lpm",
+       Entry.make ~keys:[ Entry.lpm (ip 10 1 0 0) 16 ] ~action:"set_nh"
+         ~args:[ vint ~width:16 2 ] ());
+      ("ipv4_lpm",
+       Entry.make ~keys:[ Entry.lpm (ip 192 168 0 0) 16 ] ~action:"set_nh"
+         ~args:[ vint ~width:16 3 ] ());
+      ("nexthop",
+       Entry.make ~keys:[ Entry.exact (vint ~width:16 1) ] ~action:"set_port"
+         ~args:[ port 1; mac 0x0A0000000001L ] ());
+      ("nexthop",
+       Entry.make ~keys:[ Entry.exact (vint ~width:16 2) ] ~action:"set_port"
+         ~args:[ port 2; mac 0x0A0000000002L ] ());
+      ("nexthop",
+       Entry.make ~keys:[ Entry.exact (vint ~width:16 3) ] ~action:"set_port"
+         ~args:[ port 3; mac 0x0A0000000003L ] ());
+    ]
+  in
+  { program; entries;
+    description = "basic_router's function specified as LPM->nexthop-id->port" }
+
+(* ------------------------------------------------------------------ *)
+(* parser_guard: the Section-4 case-study program                      *)
+(* ------------------------------------------------------------------ *)
+
+let parser_guard =
+  let cpu_port = 63 in
+  let program =
+    {
+      Ast.p_name = "parser_guard";
+      p_headers = [ eth_h; ipv4_h ];
+      p_metadata = [];
+      p_parser =
+        [
+          state "start" ~extracts:[ "eth" ]
+            (select
+               [ fld "eth" "ethertype" ]
+               [
+                 case (et ethertype_ipv4) (Ast.To_state "parse_ipv4");
+                 case (et ethertype_arp) Ast.To_accept;
+               ]
+               ~default:Ast.To_reject);
+          state "parse_ipv4" ~extracts:[ "ipv4" ]
+            (select
+               [ fld "ipv4" "version" ]
+               [ case (vint ~width:4 4) Ast.To_accept ]
+               ~default:Ast.To_reject);
+        ];
+      p_actions =
+        [
+          action "set_nexthop"
+            [ bit 9 "out_port"; bit 48 "dmac" ]
+            [
+              set_std Ast.Egress_spec (param "out_port");
+              set_field "eth" "src" (fld "eth" "dst");
+              set_field "eth" "dst" (param "dmac");
+              set_field "ipv4" "ttl" (fld "ipv4" "ttl" -: const ~width:8 1);
+              count "ipv4_routed";
+            ];
+          action "drop_packet" [] [ drop ];
+        ];
+      p_tables =
+        [
+          (* a default route exists: misses go to the next hop on port 1 *)
+          table "ipv4_lpm"
+            [ (fld "ipv4" "dst", Ast.Lpm) ]
+            [ "set_nexthop"; "drop_packet" ]
+            ~default:"set_nexthop"
+            ~default_args:[ port 1; mac 0x0A00000000FFL ]
+            ();
+        ];
+      p_ingress =
+        [
+          if_ (valid "ipv4")
+            [ apply "ipv4_lpm" ]
+            [
+              when_
+                (fld "eth" "ethertype" ==: const ~width:16 ethertype_arp)
+                [ egress_port cpu_port; count "arp_punt" ];
+              (* anything else was rejected by the parser: unreachable in
+                 the spec semantics, reachable under the SDNet quirk *)
+            ];
+        ];
+      p_egress = [];
+      p_deparser = [ "eth"; "ipv4" ];
+      p_counters = [ "ipv4_routed"; "arp_punt" ];
+        p_registers = [];
+      p_verify_ipv4_checksum = true;
+      p_update_ipv4_checksum = true;
+    }
+  in
+  let entries =
+    [
+      ("ipv4_lpm",
+       Entry.make ~keys:[ Entry.lpm (ip 10 0 0 0) 8 ] ~action:"set_nexthop"
+         ~args:[ port 2; mac 0x0A0000000002L ] ());
+    ]
+  in
+  { program; entries;
+    description =
+      "case-study program: parser rejects unknown EtherTypes / bad IPv4 version; \
+       default route forwards the rest" }
+
+(* ------------------------------------------------------------------ *)
+(* l2_switch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let l2_switch =
+  let program =
+    {
+      Ast.p_name = "l2_switch";
+      p_headers = [ eth_h ];
+      p_metadata = [];
+      p_parser = [ state "start" ~extracts:[ "eth" ] accept ];
+      p_actions =
+        [
+          action "src_known" [] [ count "known_src" ];
+          action "src_unknown" [] [ count "unknown_src" ];
+          action "forward" [ bit 9 "out_port" ]
+            [ set_std Ast.Egress_spec (param "out_port"); count "l2_fwd" ];
+          action "bcast_drop" [] [ drop; count "l2_miss" ];
+        ];
+      p_tables =
+        [
+          table "smac" [ (fld "eth" "src", Ast.Exact) ] [ "src_known"; "src_unknown" ]
+            ~default:"src_unknown" ();
+          table "dmac" [ (fld "eth" "dst", Ast.Exact) ] [ "forward"; "bcast_drop" ]
+            ~default:"bcast_drop" ();
+        ];
+      p_ingress = [ apply "smac"; apply "dmac" ];
+      p_egress = [];
+      p_deparser = [ "eth" ];
+      p_counters = [ "known_src"; "unknown_src"; "l2_fwd"; "l2_miss" ];
+        p_registers = [];
+      p_verify_ipv4_checksum = false;
+      p_update_ipv4_checksum = false;
+    }
+  in
+  let station m p =
+    [
+      ("smac", Entry.make ~keys:[ Entry.exact (mac m) ] ~action:"src_known" ());
+      ("dmac",
+       Entry.make ~keys:[ Entry.exact (mac m) ] ~action:"forward" ~args:[ port p ] ());
+    ]
+  in
+  {
+    program;
+    entries =
+      station 0x020000000001L 1 @ station 0x020000000002L 2 @ station 0x020000000003L 3;
+    description = "MAC learning switch skeleton (known-SMAC check, DMAC forwarding)";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* acl_firewall                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let acl_firewall =
+  let program =
+    {
+      Ast.p_name = "acl_firewall";
+      p_headers = [ eth_h; ipv4_h; tcp_h; udp_h ];
+      p_metadata = [ bit 16 "l4_sport"; bit 16 "l4_dport"; bit 1 "allow" ];
+      p_parser =
+        [
+          state "start" ~extracts:[ "eth" ]
+            (select
+               [ fld "eth" "ethertype" ]
+               [ case (et ethertype_ipv4) (Ast.To_state "parse_ipv4") ]
+               ~default:Ast.To_reject);
+          state "parse_ipv4" ~extracts:[ "ipv4" ]
+            (select
+               [ fld "ipv4" "protocol" ]
+               [
+                 case (vint ~width:8 6) (Ast.To_state "parse_tcp");
+                 case (vint ~width:8 17) (Ast.To_state "parse_udp");
+               ]
+               ~default:Ast.To_accept);
+          state "parse_tcp" ~extracts:[ "tcp" ] accept;
+          state "parse_udp" ~extracts:[ "udp" ] accept;
+        ];
+      p_actions =
+        [
+          action "permit" [] [ set_meta "allow" (const ~width:1 1); count "acl_permit" ];
+          action "deny" [] [ set_meta "allow" (const ~width:1 0); count "acl_deny" ];
+          action "set_nexthop"
+            [ bit 9 "out_port"; bit 48 "dmac" ]
+            [
+              set_std Ast.Egress_spec (param "out_port");
+              set_field "eth" "src" (fld "eth" "dst");
+              set_field "eth" "dst" (param "dmac");
+              set_field "ipv4" "ttl" (fld "ipv4" "ttl" -: const ~width:8 1);
+            ];
+          action "drop_packet" [] [ drop ];
+        ];
+      p_tables =
+        [
+          table "acl"
+            [
+              (fld "ipv4" "src", Ast.Ternary);
+              (fld "ipv4" "dst", Ast.Ternary);
+              (fld "ipv4" "protocol", Ast.Ternary);
+              (meta "l4_dport", Ast.Ternary);
+            ]
+            [ "permit"; "deny" ] ~default:"deny" ();
+          table "ipv4_lpm"
+            [ (fld "ipv4" "dst", Ast.Lpm) ]
+            [ "set_nexthop"; "drop_packet" ]
+            ~default:"drop_packet" ();
+        ];
+      p_ingress =
+        [
+          if_ (valid "tcp")
+            [
+              set_meta "l4_sport" (fld "tcp" "src_port");
+              set_meta "l4_dport" (fld "tcp" "dst_port");
+            ]
+            [
+              when_ (valid "udp")
+                [
+                  set_meta "l4_sport" (fld "udp" "src_port");
+                  set_meta "l4_dport" (fld "udp" "dst_port");
+                ];
+            ];
+          if_ (valid "ipv4")
+            [
+              apply "acl";
+              if_ (meta "allow" ==: const ~width:1 1)
+                [
+                  if_
+                    (fld "ipv4" "ttl" <=: const ~width:8 1)
+                    [ drop; count "ttl_expired" ]
+                    [ apply "ipv4_lpm" ];
+                ]
+                [ drop ];
+            ]
+            [ drop ];
+        ];
+      p_egress = [];
+      p_deparser = [ "eth"; "ipv4"; "tcp"; "udp" ];
+      p_counters = [ "acl_permit"; "acl_deny"; "ttl_expired" ];
+        p_registers = [];
+      p_verify_ipv4_checksum = true;
+      p_update_ipv4_checksum = true;
+    }
+  in
+  let any32 = (Value.zero 32, Value.zero 32) in
+  let any8 = (Value.zero 8, Value.zero 8) in
+  let any16 = (Value.zero 16, Value.zero 16) in
+  let tern (v, m) = Entry.ternary v m in
+  let exact_port p = Entry.ternary (vint ~width:16 p) (Value.ones 16) in
+  let net a b c d len =
+    let m =
+      Value.make ~width:32
+        (if len = 0 then 0L
+         else Int64.logand (Int64.shift_left (-1L) (32 - len)) 0xFFFFFFFFL)
+    in
+    Entry.ternary (ip a b c d) m
+  in
+  let entries =
+    [
+      (* deny telnet anywhere, highest priority *)
+      ("acl",
+       Entry.make ~priority:100
+         ~keys:[ tern any32; tern any32; tern any8; exact_port 23 ]
+         ~action:"deny" ());
+      (* permit web traffic into the DMZ *)
+      ("acl",
+       Entry.make ~priority:50
+         ~keys:[ tern any32; net 10 1 0 0 16; tern any8; exact_port 80 ]
+         ~action:"permit" ());
+      (* permit all UDP inside 10/8 *)
+      ("acl",
+       Entry.make ~priority:10
+         ~keys:
+           [ net 10 0 0 0 8; net 10 0 0 0 8;
+             Entry.ternary (vint ~width:8 17) (Value.ones 8); tern any16 ]
+         ~action:"permit" ());
+      ("ipv4_lpm",
+       Entry.make ~keys:[ Entry.lpm (ip 10 0 0 0) 8 ] ~action:"set_nexthop"
+         ~args:[ port 1; mac 0x0A0000000001L ] ());
+      ("ipv4_lpm",
+       Entry.make ~keys:[ Entry.lpm (ip 10 1 0 0) 16 ] ~action:"set_nexthop"
+         ~args:[ port 2; mac 0x0A0000000002L ] ());
+    ]
+  in
+  { program; entries;
+    description = "ternary ACL (src/dst/proto/l4 port) in front of LPM forwarding" }
+
+(* ------------------------------------------------------------------ *)
+(* mpls_tunnel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mpls_tunnel =
+  let program =
+    {
+      Ast.p_name = "mpls_tunnel";
+      p_headers = [ eth_h; mpls_h; ipv4_h ];
+      p_metadata = [];
+      p_parser =
+        [
+          state "start" ~extracts:[ "eth" ]
+            (select
+               [ fld "eth" "ethertype" ]
+               [
+                 case (et ethertype_mpls) (Ast.To_state "parse_mpls");
+                 case (et ethertype_ipv4) (Ast.To_state "parse_ipv4");
+               ]
+               ~default:Ast.To_reject);
+          state "parse_mpls" ~extracts:[ "mpls" ]
+            (select
+               [ fld "mpls" "bos" ]
+               [ case (vint ~width:1 1) (Ast.To_state "parse_ipv4") ]
+               ~default:Ast.To_reject);
+          state "parse_ipv4" ~extracts:[ "ipv4" ] accept;
+        ];
+      p_actions =
+        [
+          action "mpls_swap"
+            [ bit 20 "new_label"; bit 9 "out_port" ]
+            [
+              set_field "mpls" "label" (param "new_label");
+              set_field "mpls" "ttl" (fld "mpls" "ttl" -: const ~width:8 1);
+              set_std Ast.Egress_spec (param "out_port");
+              count "mpls_swap";
+            ];
+          action "mpls_pop"
+            [ bit 9 "out_port"; bit 48 "dmac" ]
+            [
+              SetInvalid "mpls";
+              set_field "eth" "ethertype" (Ast.Const (et ethertype_ipv4));
+              set_field "eth" "dst" (param "dmac");
+              set_field "ipv4" "ttl" (fld "ipv4" "ttl" -: const ~width:8 1);
+              set_std Ast.Egress_spec (param "out_port");
+              count "mpls_pop";
+            ];
+          action "mpls_push"
+            [ bit 20 "new_label"; bit 9 "out_port"; bit 48 "dmac" ]
+            [
+              SetValid "mpls";
+              set_field "mpls" "label" (param "new_label");
+              set_field "mpls" "tc" (const ~width:3 0);
+              set_field "mpls" "bos" (const ~width:1 1);
+              set_field "mpls" "ttl" (const ~width:8 64);
+              set_field "eth" "ethertype" (Ast.Const (et ethertype_mpls));
+              set_field "eth" "dst" (param "dmac");
+              set_std Ast.Egress_spec (param "out_port");
+              count "mpls_push";
+            ];
+          action "drop_packet" [] [ drop; count "mpls_miss" ];
+        ];
+      p_tables =
+        [
+          table "mpls_fib"
+            [ (fld "mpls" "label", Ast.Exact) ]
+            [ "mpls_swap"; "mpls_pop"; "drop_packet" ]
+            ~default:"drop_packet" ();
+          table "ipv4_to_tunnel"
+            [ (fld "ipv4" "dst", Ast.Lpm) ]
+            [ "mpls_push"; "drop_packet" ]
+            ~default:"drop_packet" ();
+        ];
+      p_ingress =
+        [ if_ (valid "mpls") [ apply "mpls_fib" ] [ apply "ipv4_to_tunnel" ] ];
+      p_egress = [];
+      p_deparser = [ "eth"; "mpls"; "ipv4" ];
+      p_counters = [ "mpls_swap"; "mpls_pop"; "mpls_push"; "mpls_miss" ];
+        p_registers = [];
+      p_verify_ipv4_checksum = false;
+      p_update_ipv4_checksum = true;
+    }
+  in
+  let label v = vint ~width:20 v in
+  let entries =
+    [
+      ("ipv4_to_tunnel",
+       Entry.make ~keys:[ Entry.lpm (ip 10 2 0 0) 16 ] ~action:"mpls_push"
+         ~args:[ label 100; port 1; mac 0x0A0000000001L ] ());
+      ("mpls_fib",
+       Entry.make ~keys:[ Entry.exact (label 100) ] ~action:"mpls_swap"
+         ~args:[ label 200; port 2 ] ());
+      ("mpls_fib",
+       Entry.make ~keys:[ Entry.exact (label 200) ] ~action:"mpls_pop"
+         ~args:[ port 3; mac 0x0A0000000003L ] ());
+    ]
+  in
+  { program; entries;
+    description = "MPLS edge/transit: push at ingress, swap mid-path, pop at egress" }
+
+(* ------------------------------------------------------------------ *)
+(* vlan_router                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let vlan_router =
+  let program =
+    {
+      Ast.p_name = "vlan_router";
+      p_headers = [ eth_h; vlan_h; ipv4_h ];
+      p_metadata = [];
+      p_parser =
+        [
+          state "start" ~extracts:[ "eth" ]
+            (select
+               [ fld "eth" "ethertype" ]
+               [
+                 case (et ethertype_vlan) (Ast.To_state "parse_vlan");
+                 case (et ethertype_ipv4) (Ast.To_state "parse_ipv4");
+               ]
+               ~default:Ast.To_reject);
+          state "parse_vlan" ~extracts:[ "vlan" ]
+            (select
+               [ fld "vlan" "ethertype" ]
+               [ case (et ethertype_ipv4) (Ast.To_state "parse_ipv4") ]
+               ~default:Ast.To_reject);
+          state "parse_ipv4" ~extracts:[ "ipv4" ] accept;
+        ];
+      p_actions =
+        [
+          action "route"
+            [ bit 9 "out_port"; bit 48 "dmac" ]
+            [
+              set_std Ast.Egress_spec (param "out_port");
+              set_field "eth" "src" (fld "eth" "dst");
+              set_field "eth" "dst" (param "dmac");
+              set_field "ipv4" "ttl" (fld "ipv4" "ttl" -: const ~width:8 1);
+              count "routed";
+            ];
+          action "drop_packet" [] [ drop; count "route_miss" ];
+        ];
+      p_tables =
+        [
+          table "vlan_route"
+            [ (fld "vlan" "vid", Ast.Exact); (fld "ipv4" "dst", Ast.Lpm) ]
+            [ "route"; "drop_packet" ] ~default:"drop_packet" ();
+          table "ipv4_lpm"
+            [ (fld "ipv4" "dst", Ast.Lpm) ]
+            [ "route"; "drop_packet" ] ~default:"drop_packet" ();
+        ];
+      p_ingress =
+        [
+          if_ (valid "ipv4")
+            [
+              if_
+                (fld "ipv4" "ttl" <=: const ~width:8 1)
+                [ drop ]
+                [ if_ (valid "vlan") [ apply "vlan_route" ] [ apply "ipv4_lpm" ] ];
+            ]
+            [ drop ];
+        ];
+      p_egress = [];
+      p_deparser = [ "eth"; "vlan"; "ipv4" ];
+      p_counters = [ "routed"; "route_miss" ];
+        p_registers = [];
+      p_verify_ipv4_checksum = true;
+      p_update_ipv4_checksum = true;
+    }
+  in
+  let vid v = vint ~width:12 v in
+  let entries =
+    [
+      ("vlan_route",
+       Entry.make
+         ~keys:[ Entry.exact (vid 10); Entry.lpm (ip 10 0 0 0) 8 ]
+         ~action:"route" ~args:[ port 1; mac 0x0A0000000001L ] ());
+      ("vlan_route",
+       Entry.make
+         ~keys:[ Entry.exact (vid 20); Entry.lpm (ip 10 0 0 0) 8 ]
+         ~action:"route" ~args:[ port 2; mac 0x0A0000000002L ] ());
+      ("ipv4_lpm",
+       Entry.make ~keys:[ Entry.lpm (ip 10 0 0 0) 8 ] ~action:"route"
+         ~args:[ port 3; mac 0x0A0000000003L ] ());
+    ]
+  in
+  { program; entries; description = "802.1Q-aware router: (vid, dst) routing" }
+
+(* ------------------------------------------------------------------ *)
+(* calc: in-network compute                                            *)
+(* ------------------------------------------------------------------ *)
+
+let calc =
+  let calc_h = header "calcq" [ bit 8 "op"; bit 32 "a"; bit 32 "b"; bit 32 "result" ] in
+  let res e = set_field "calcq" "result" e in
+  let opcode n = fld "calcq" "op" ==: const ~width:8 n in
+  let a = fld "calcq" "a" and b = fld "calcq" "b" in
+  let program =
+    {
+      Ast.p_name = "calc";
+      p_headers = [ eth_h; calc_h ];
+      p_metadata = [ bit 48 "tmp_mac" ];
+      p_parser =
+        [
+          state "start" ~extracts:[ "eth" ]
+            (select
+               [ fld "eth" "ethertype" ]
+               [ case (et ethertype_calc) (Ast.To_state "parse_calc") ]
+               ~default:Ast.To_reject);
+          state "parse_calc" ~extracts:[ "calcq" ] accept;
+        ];
+      p_actions = [];
+      p_tables = [];
+      p_ingress =
+        [
+          if_ (opcode 1) [ res (a +: b) ]
+            [
+              if_ (opcode 2) [ res (a -: b) ]
+                [
+                  if_ (opcode 3) [ res (band a b) ]
+                    [
+                      if_ (opcode 4) [ res (bor a b) ]
+                        [ if_ (opcode 5) [ res (bxor a b) ] [ res (const ~width:32 0) ] ];
+                    ];
+                ];
+            ];
+          (* reflect to sender *)
+          set_meta "tmp_mac" (fld "eth" "dst");
+          set_field "eth" "dst" (fld "eth" "src");
+          set_field "eth" "src" (meta "tmp_mac");
+          set_std Ast.Egress_spec (std Ast.Ingress_port);
+          count "calc_ops";
+        ];
+      p_egress = [];
+      p_deparser = [ "eth"; "calcq" ];
+      p_counters = [ "calc_ops" ];
+        p_registers = [];
+      p_verify_ipv4_checksum = false;
+      p_update_ipv4_checksum = false;
+    }
+  in
+  { program; entries = [];
+    description = "in-network compute: opcode/operand header evaluated and reflected" }
+
+(* ------------------------------------------------------------------ *)
+(* reflector                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reflector =
+  {
+    program =
+      {
+        Ast.p_name = "reflector";
+        p_headers = [ eth_h ];
+        p_metadata = [];
+        p_parser = [ state "start" ~extracts:[ "eth" ] accept ];
+        p_actions = [];
+        p_tables = [];
+        p_ingress = [ set_std Ast.Egress_spec (std Ast.Ingress_port) ];
+        p_egress = [];
+        p_deparser = [ "eth" ];
+        p_counters = [];
+        p_registers = [];
+        p_verify_ipv4_checksum = false;
+        p_update_ipv4_checksum = false;
+      };
+    entries = [];
+    description = "accept everything, send back out the ingress port";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* ipv6_router                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ipv6_h =
+  header "ipv6"
+    [
+      bit 4 "version"; bit 8 "traffic_class"; bit 20 "flow_label"; bit 16 "payload_len";
+      bit 8 "next_header"; bit 8 "hop_limit"; bit 64 "src_hi"; bit 64 "src_lo";
+      bit 64 "dst_hi"; bit 64 "dst_lo";
+    ]
+
+let ipv6_router =
+  let program =
+    {
+      Ast.p_name = "ipv6_router";
+      p_headers = [ eth_h; ipv6_h ];
+      p_metadata = [];
+      p_parser =
+        [
+          state "start" ~extracts:[ "eth" ]
+            (select
+               [ fld "eth" "ethertype" ]
+               [ case (et 0x86DD) (Ast.To_state "parse_ipv6") ]
+               ~default:Ast.To_reject);
+          state "parse_ipv6" ~extracts:[ "ipv6" ]
+            (select
+               [ fld "ipv6" "version" ]
+               [ case (vint ~width:4 6) Ast.To_accept ]
+               ~default:Ast.To_reject);
+        ];
+      p_actions =
+        [
+          action "set_nexthop"
+            [ bit 9 "out_port"; bit 48 "dmac" ]
+            [
+              set_std Ast.Egress_spec (param "out_port");
+              set_field "eth" "src" (fld "eth" "dst");
+              set_field "eth" "dst" (param "dmac");
+              set_field "ipv6" "hop_limit" (fld "ipv6" "hop_limit" -: const ~width:8 1);
+              count "ipv6_routed";
+            ];
+          action "drop_packet" [] [ drop; count "ipv6_miss" ];
+        ];
+      p_tables =
+        [
+          (* 128-bit addresses are modelled as hi/lo 64-bit halves; routing
+             prefixes up to /64 live entirely in the hi half *)
+          table "ipv6_lpm"
+            [ (fld "ipv6" "dst_hi", Ast.Lpm) ]
+            [ "set_nexthop"; "drop_packet" ]
+            ~default:"drop_packet" ();
+        ];
+      p_ingress =
+        [
+          if_ (valid "ipv6")
+            [
+              if_
+                (fld "ipv6" "hop_limit" <=: const ~width:8 1)
+                [ drop; count "hop_expired" ]
+                [ apply "ipv6_lpm" ];
+            ]
+            [ drop ];
+        ];
+      p_egress = [];
+      p_deparser = [ "eth"; "ipv6" ];
+      p_counters = [ "ipv6_routed"; "ipv6_miss"; "hop_expired" ];
+      p_registers = [];
+      p_verify_ipv4_checksum = false (* IPv6 has no header checksum *);
+      p_update_ipv4_checksum = false;
+    }
+  in
+  let v6 v = Value.make ~width:64 v in
+  let entries =
+    [
+      ("ipv6_lpm",
+       Entry.make
+         ~keys:[ Entry.lpm (v6 0x20010DB8_00000000L) 32 ]
+         ~action:"set_nexthop"
+         ~args:[ port 1; mac 0x0A0000000001L ] ());
+      ("ipv6_lpm",
+       Entry.make
+         ~keys:[ Entry.lpm (v6 0x20010DB8_0001_0000L) 48 ]
+         ~action:"set_nexthop"
+         ~args:[ port 2; mac 0x0A0000000002L ] ());
+      ("ipv6_lpm",
+       Entry.make
+         ~keys:[ Entry.lpm (v6 0xFC00_0000_0000_0000L) 7 ]
+         ~action:"set_nexthop"
+         ~args:[ port 3; mac 0x0A0000000003L ] ());
+    ]
+  in
+  { program; entries;
+    description = "IPv6 router: LPM over the high 64 address bits, hop-limit handling" }
+
+(* ------------------------------------------------------------------ *)
+(* rate_limiter: stateful per-port packet budget                       *)
+(* ------------------------------------------------------------------ *)
+
+let rate_limiter =
+  let program =
+    {
+      Ast.p_name = "rate_limiter";
+      p_headers = [ eth_h; ipv4_h ];
+      p_metadata = [ bit 32 "cnt"; bit 32 "limit" ];
+      p_parser = router_parser;
+      p_actions =
+        [
+          action "set_limit" [ bit 32 "allowed" ] [ set_meta "limit" (param "allowed") ];
+          action "set_nexthop"
+            [ bit 9 "out_port"; bit 48 "dmac" ]
+            [
+              set_std Ast.Egress_spec (param "out_port");
+              set_field "eth" "src" (fld "eth" "dst");
+              set_field "eth" "dst" (param "dmac");
+              set_field "ipv4" "ttl" (fld "ipv4" "ttl" -: const ~width:8 1);
+            ];
+          action "drop_packet" [] [ drop ];
+        ];
+      p_tables =
+        [
+          table "port_policy"
+            [ (std Ast.Ingress_port, Ast.Exact) ]
+            [ "set_limit" ]
+            ~default:"set_limit"
+            ~default_args:[ Value.make ~width:32 0xFFFFFFFFL ]
+            ();
+          table "ipv4_lpm"
+            [ (fld "ipv4" "dst", Ast.Lpm) ]
+            [ "set_nexthop"; "drop_packet" ]
+            ~default:"drop_packet" ();
+        ];
+      p_ingress =
+        [
+          if_ (valid "ipv4")
+            [
+              if_
+                (fld "ipv4" "ttl" <=: const ~width:8 1)
+                [ drop ]
+                [
+                  apply "port_policy";
+                  Ast.RegRead (Ast.LMeta "cnt", "port_counts", std Ast.Ingress_port);
+                  if_
+                    (meta "cnt" >=: meta "limit")
+                    [ drop; count "rate_limited" ]
+                    [
+                      Ast.RegWrite
+                        ("port_counts", std Ast.Ingress_port,
+                         meta "cnt" +: const ~width:32 1);
+                      apply "ipv4_lpm";
+                    ];
+                ];
+            ]
+            [ drop ];
+        ];
+      p_egress = [];
+      p_deparser = [ "eth"; "ipv4" ];
+      p_counters = [ "rate_limited" ];
+      p_registers = [ { Ast.r_name = "port_counts"; r_width = 32; r_size = 512 } ];
+      p_verify_ipv4_checksum = true;
+      p_update_ipv4_checksum = true;
+    }
+  in
+  let entries =
+    router_entries
+    @ [
+        ("port_policy",
+         Entry.make ~keys:[ Entry.exact (port 0) ] ~action:"set_limit"
+           ~args:[ vint ~width:32 3 ] ());
+        ("port_policy",
+         Entry.make ~keys:[ Entry.exact (port 510) ] ~action:"set_limit"
+           ~args:[ vint ~width:32 5 ] ());
+      ]
+  in
+  { program; entries;
+    description =
+      "stateful per-port packet budget in a register array; over-budget ports drop" }
+
+(* ------------------------------------------------------------------ *)
+(* kv_cache: NetCache-style in-network key-value cache                 *)
+(* ------------------------------------------------------------------ *)
+
+let kv_cache =
+  let kv_h = header "kvh" [ bit 8 "op"; bit 16 "key"; bit 32 "value"; bit 8 "status" ] in
+  let idx = Ast.Slice (fld "kvh" "key", 7, 0) in
+  let program =
+    {
+      Ast.p_name = "kv_cache";
+      p_headers = [ eth_h; kv_h ];
+      p_metadata = [ bit 1 "hit"; bit 48 "tmp_mac" ];
+      p_parser =
+        [
+          state "start" ~extracts:[ "eth" ]
+            (select
+               [ fld "eth" "ethertype" ]
+               [ case (et 0x1235) (Ast.To_state "parse_kv") ]
+               ~default:Ast.To_reject);
+          state "parse_kv" ~extracts:[ "kvh" ] accept;
+        ];
+      p_actions = [];
+      p_tables = [];
+      p_ingress =
+        [
+          if_
+            (fld "kvh" "op" ==: const ~width:8 1)
+            (* GET *)
+            [
+              Ast.RegRead (Ast.LMeta "hit", "kv_present", idx);
+              if_
+                (meta "hit" ==: const ~width:1 1)
+                [
+                  Ast.RegRead (Ast.LField ("kvh", "value"), "kv_store", idx);
+                  set_field "kvh" "status" (const ~width:8 1);
+                  count "cache_hit";
+                ]
+                [ set_field "kvh" "status" (const ~width:8 0); count "cache_miss" ];
+            ]
+            [
+              if_
+                (fld "kvh" "op" ==: const ~width:8 2)
+                (* PUT *)
+                [
+                  Ast.RegWrite ("kv_store", idx, fld "kvh" "value");
+                  Ast.RegWrite ("kv_present", idx, const ~width:1 1);
+                  set_field "kvh" "status" (const ~width:8 1);
+                  count "cache_put";
+                ]
+                [ set_field "kvh" "status" (const ~width:8 0xFF) ];
+            ];
+          (* reflect to the requester *)
+          set_meta "tmp_mac" (fld "eth" "dst");
+          set_field "eth" "dst" (fld "eth" "src");
+          set_field "eth" "src" (meta "tmp_mac");
+          set_std Ast.Egress_spec (std Ast.Ingress_port);
+        ];
+      p_egress = [];
+      p_deparser = [ "eth"; "kvh" ];
+      p_counters = [ "cache_hit"; "cache_miss"; "cache_put" ];
+      p_registers =
+        [
+          { Ast.r_name = "kv_store"; r_width = 32; r_size = 256 };
+          { Ast.r_name = "kv_present"; r_width = 1; r_size = 256 };
+        ];
+      p_verify_ipv4_checksum = false;
+      p_update_ipv4_checksum = false;
+    }
+  in
+  { program; entries = [];
+    description =
+      "NetCache-style in-network key-value cache: GET/PUT over register arrays, \
+       replies reflected to the requester" }
+
+let all =
+  [
+    basic_router; router_split; buggy_router; parser_guard; l2_switch; acl_firewall;
+    mpls_tunnel; vlan_router; ipv6_router; calc; reflector; rate_limiter; kv_cache;
+  ]
+
+let find name =
+  List.find_opt (fun b -> String.equal b.program.Ast.p_name name) all

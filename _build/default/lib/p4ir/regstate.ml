@@ -1,0 +1,31 @@
+type t = (string, int * Value.t array) Hashtbl.t
+(* name -> (width, cells) *)
+
+let create (program : Ast.program) =
+  let t = Hashtbl.create 4 in
+  List.iter
+    (fun (r : Ast.register_decl) ->
+      Hashtbl.add t r.r_name (r.r_width, Array.make r.r_size (Value.zero r.r_width)))
+    program.Ast.p_registers;
+  t
+
+let slot t name =
+  match Hashtbl.find_opt t name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Regstate: undeclared register %s" name)
+
+let read t name idx =
+  let width, cells = slot t name in
+  if idx < 0 || idx >= Array.length cells then Value.zero width else cells.(idx)
+
+let write t name idx v =
+  let width, cells = slot t name in
+  if idx >= 0 && idx < Array.length cells then
+    cells.(idx) <- Value.make ~width (Value.to_int64 v)
+
+let reset t =
+  Hashtbl.iter (fun _ (width, cells) -> Array.fill cells 0 (Array.length cells) (Value.zero width)) t
+
+let dump t name =
+  let _, cells = slot t name in
+  Array.copy cells

@@ -1,0 +1,25 @@
+(** Stateful register storage.
+
+    One instance per executor (a device owns one for its lifetime; the
+    reference interpreter gets a fresh one per call unless the caller
+    threads its own) — that ownership difference is exactly the difference
+    between simulating hardware state and evaluating a single-packet
+    specification. *)
+
+type t
+
+val create : Ast.program -> t
+(** Arrays for every declared register, zero-initialized. *)
+
+val read : t -> string -> int -> Value.t
+(** Out-of-range indices read zero (of the register's width).
+    @raise Invalid_argument for an undeclared register. *)
+
+val write : t -> string -> int -> Value.t -> unit
+(** Out-of-range indices are ignored; values are truncated to the
+    register width. *)
+
+val reset : t -> unit
+
+val dump : t -> string -> Value.t array
+(** Snapshot of one register array (copy). *)

@@ -1,0 +1,100 @@
+type t = (string, Entry.t list ref) Hashtbl.t
+(* entry lists are kept reversed (newest first) and re-reversed on read *)
+
+let create () = Hashtbl.create 8
+
+let copy t =
+  let t' = Hashtbl.create 8 in
+  Hashtbl.iter (fun k v -> Hashtbl.add t' k (ref !v)) t;
+  t'
+
+let slot t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t name r;
+      r
+
+let validate program ~table (e : Entry.t) existing_count =
+  match Ast.find_table program table with
+  | None -> Error (Printf.sprintf "table %s: not declared" table)
+  | Some tbl ->
+      let open Ast in
+      if existing_count >= tbl.t_size then
+        Error (Printf.sprintf "table %s: capacity %d exceeded" table tbl.t_size)
+      else if List.length e.Entry.keys <> List.length tbl.t_keys then
+        Error (Printf.sprintf "table %s: expected %d keys, got %d" table
+                 (List.length tbl.t_keys) (List.length e.Entry.keys))
+      else if not (List.mem e.Entry.action tbl.t_actions) then
+        Error (Printf.sprintf "table %s: action %s not permitted" table e.Entry.action)
+      else begin
+        let kind_ok (k : Entry.mkey) (kind : match_kind) =
+          match (k, kind) with
+          | Entry.Exact_v _, Exact | Entry.Lpm_v _, Lpm | Entry.Ternary_v _, Ternary -> true
+          | Entry.Exact_v _, (Lpm | Ternary)
+          | Entry.Lpm_v _, (Exact | Ternary)
+          | Entry.Ternary_v _, (Exact | Lpm) ->
+              false
+        in
+        let kinds_ok = List.for_all2 (fun k (_, kind) -> kind_ok k kind) e.Entry.keys tbl.t_keys in
+        if not kinds_ok then Error (Printf.sprintf "table %s: match-kind mismatch" table)
+        else
+          match Ast.find_action program e.Entry.action with
+          | None -> Error (Printf.sprintf "action %s: not declared" e.Entry.action)
+          | Some act ->
+              if List.length e.Entry.args <> List.length act.a_params then
+                Error
+                  (Printf.sprintf "action %s: expected %d args, got %d" e.Entry.action
+                     (List.length act.a_params) (List.length e.Entry.args))
+              else begin
+                let args_ok =
+                  List.for_all2
+                    (fun arg (p : field_decl) -> Value.width arg = p.f_width)
+                    e.Entry.args act.a_params
+                in
+                let lpm_ok =
+                  List.for_all
+                    (fun k ->
+                      match k with
+                      | Entry.Lpm_v (v, len) -> len >= 0 && len <= Value.width v
+                      | Entry.Exact_v _ | Entry.Ternary_v _ -> true)
+                    e.Entry.keys
+                in
+                if not args_ok then
+                  Error (Printf.sprintf "action %s: argument width mismatch" e.Entry.action)
+                else if not lpm_ok then Error "lpm prefix length out of range"
+                else Ok ()
+              end
+      end
+
+let add program t ~table e =
+  let r = slot t table in
+  match validate program ~table e (List.length !r) with
+  | Error _ as err -> err
+  | Ok () ->
+      r := e :: !r;
+      Ok ()
+
+let add_exn program t ~table e =
+  match add program t ~table e with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runtime.add_exn: " ^ msg)
+
+let install_all program t pairs =
+  let rec go = function
+    | [] -> Ok ()
+    | (table, e) :: rest -> (
+        match add program t ~table e with Ok () -> go rest | Error _ as err -> err)
+  in
+  go pairs
+
+let entries t name = match Hashtbl.find_opt t name with Some r -> List.rev !r | None -> []
+
+let entry_count t name = match Hashtbl.find_opt t name with Some r -> List.length !r | None -> 0
+
+let clear_table t name = match Hashtbl.find_opt t name with Some r -> r := [] | None -> ()
+
+let clear t = Hashtbl.reset t
+
+let tables t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare

@@ -1,0 +1,32 @@
+(** Control-plane table state: the set of entries installed in each table.
+
+    Installation is validated against the program (table exists, action
+    permitted, key arity and widths, argument arity and widths, capacity),
+    mirroring what a runtime API such as P4Runtime enforces. The same
+    runtime state drives both the reference interpreter and the compiled
+    device, modelling the shared control plane of Figure 1. *)
+
+type t
+
+val create : unit -> t
+
+val copy : t -> t
+
+val add : Ast.program -> t -> table:string -> Entry.t -> (unit, string) result
+
+val add_exn : Ast.program -> t -> table:string -> Entry.t -> unit
+(** @raise Invalid_argument when {!add} would return [Error]. *)
+
+val install_all : Ast.program -> t -> (string * Entry.t) list -> (unit, string) result
+(** Install a batch of (table, entry) pairs, stopping at the first error. *)
+
+val entries : t -> string -> Entry.t list
+(** In install order; empty for unknown tables. *)
+
+val entry_count : t -> string -> int
+
+val clear_table : t -> string -> unit
+
+val clear : t -> unit
+
+val tables : t -> string list

@@ -1,0 +1,13 @@
+let drop_port = 511
+
+let error_none = 0
+let error_reject = 1
+let error_underrun = 2
+let error_checksum = 3
+
+let error_name = function
+  | 0 -> "NoError"
+  | 1 -> "Reject"
+  | 2 -> "PacketTooShort"
+  | 3 -> "ChecksumError"
+  | n -> Printf.sprintf "Error(%d)" n

@@ -1,0 +1,17 @@
+(** Architecture constants for standard metadata. *)
+
+val drop_port : int
+(** Egress-spec value that means "drop" (511, the all-ones 9-bit port). *)
+
+val error_none : int
+
+(** [error_reject]: the parser took an explicit [reject] transition. *)
+val error_reject : int
+
+(** [error_underrun]: the packet was too short for an [extract]. *)
+val error_underrun : int
+
+(** [error_checksum]: architecture-level IPv4 checksum verification failed. *)
+val error_checksum : int
+
+val error_name : int -> string

@@ -1,0 +1,84 @@
+type t = { width : int; v : int64 }
+
+let mask_of width =
+  if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+
+let make ~width v =
+  if width < 1 || width > 64 then invalid_arg "Value.make: width";
+  { width; v = Int64.logand v (mask_of width) }
+
+let of_int ~width i = make ~width (Int64.of_int i)
+
+let zero w = make ~width:w 0L
+
+let ones w = make ~width:w (-1L)
+
+let width t = t.width
+
+let to_int64 t = t.v
+
+let to_int t =
+  if Int64.compare t.v 0L < 0 || Int64.compare t.v (Int64.of_int max_int) > 0 then
+    invalid_arg "Value.to_int: overflow";
+  Int64.to_int t.v
+
+let is_zero t = t.v = 0L
+
+let tru = { width = 1; v = 1L }
+
+let fls = { width = 1; v = 0L }
+
+let of_bool b = if b then tru else fls
+
+let to_bool t = t.v <> 0L
+
+let lift2 f a b = make ~width:a.width (f a.v b.v)
+
+let add a b = lift2 Int64.add a b
+let sub a b = lift2 Int64.sub a b
+let mul a b = lift2 Int64.mul a b
+let logand a b = lift2 Int64.logand a b
+let logor a b = lift2 Int64.logor a b
+let logxor a b = lift2 Int64.logxor a b
+
+let lognot a = make ~width:a.width (Int64.lognot a.v)
+
+let shift_left a n =
+  if n >= 64 then zero a.width else make ~width:a.width (Int64.shift_left a.v n)
+
+let shift_right a n =
+  (* values are normalized (high bits zero), so logical shift is unsigned *)
+  if n >= 64 then zero a.width else make ~width:a.width (Int64.shift_right_logical a.v n)
+
+let compare_unsigned a b = Int64.unsigned_compare a.v b.v
+
+let eq a b = of_bool (a.v = b.v)
+let neq a b = of_bool (a.v <> b.v)
+let lt a b = of_bool (compare_unsigned a b < 0)
+let le a b = of_bool (compare_unsigned a b <= 0)
+let gt a b = of_bool (compare_unsigned a b > 0)
+let ge a b = of_bool (compare_unsigned a b >= 0)
+
+let slice t ~msb ~lsb =
+  if lsb < 0 || msb < lsb || msb >= t.width then invalid_arg "Value.slice";
+  make ~width:(msb - lsb + 1) (Int64.shift_right_logical t.v lsb)
+
+let concat a b =
+  if a.width + b.width > 64 then invalid_arg "Value.concat: width";
+  { width = a.width + b.width; v = Int64.logor (Int64.shift_left a.v b.width) b.v }
+
+let matches_mask t ~value ~mask =
+  Int64.logand t.v mask = Int64.logand value mask
+
+let matches_prefix t ~value ~prefix_len =
+  if prefix_len = 0 then true
+  else begin
+    let shift = t.width - prefix_len in
+    if shift < 0 then invalid_arg "Value.matches_prefix";
+    Int64.shift_right_logical t.v shift
+    = Int64.shift_right_logical (Int64.logand value (mask_of t.width)) shift
+  end
+
+let equal a b = a.width = b.width && a.v = b.v
+
+let pp ppf t = Format.fprintf ppf "%dw0x%Lx" t.width t.v

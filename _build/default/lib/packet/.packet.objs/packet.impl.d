@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Addr Arp Bitutil Char Eth Format Icmp Int64 Ipv4 Ipv6 List Mpls Pcap Proto String Tcp Udp Vlan

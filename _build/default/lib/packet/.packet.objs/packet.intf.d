@@ -1,0 +1,1 @@
+lib/packet/packet.mli: Addr Arp Bitutil Eth Format Icmp Ipv4 Ipv6 Mpls Pcap Proto Tcp Udp Vlan

@@ -1,0 +1,1 @@
+lib/packet/addr.ml: Int64 List Printf String

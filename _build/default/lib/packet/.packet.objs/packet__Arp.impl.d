@@ -1,0 +1,1 @@
+lib/packet/arp.ml: Addr Bitstring Format Proto

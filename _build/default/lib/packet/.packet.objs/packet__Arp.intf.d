@@ -1,0 +1,1 @@
+lib/packet/arp.mli: Bitstring Format

@@ -1,0 +1,1 @@
+lib/packet/eth.ml: Addr Bitstring Format Proto

@@ -1,0 +1,1 @@
+lib/packet/eth.mli: Bitstring Format

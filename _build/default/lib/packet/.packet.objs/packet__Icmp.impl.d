@@ -1,0 +1,1 @@
+lib/packet/icmp.ml: Bitstring Format Int64

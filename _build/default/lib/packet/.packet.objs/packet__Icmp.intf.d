@@ -1,0 +1,1 @@
+lib/packet/icmp.mli: Bitstring Format

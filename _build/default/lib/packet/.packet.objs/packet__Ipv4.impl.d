@@ -1,0 +1,1 @@
+lib/packet/ipv4.ml: Addr Bitstring Bitutil Format Int64 Proto

@@ -1,0 +1,1 @@
+lib/packet/ipv6.ml: Addr Bitstring Format Int64 Proto

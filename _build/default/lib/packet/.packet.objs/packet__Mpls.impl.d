@@ -1,0 +1,1 @@
+lib/packet/mpls.ml: Bitstring Format

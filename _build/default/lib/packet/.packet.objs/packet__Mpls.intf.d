@@ -1,0 +1,1 @@
+lib/packet/mpls.mli: Bitstring Format

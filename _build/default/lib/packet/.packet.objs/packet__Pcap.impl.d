@@ -1,0 +1,1 @@
+lib/packet/pcap.ml: Buffer Char Float In_channel List Out_channel String

@@ -1,0 +1,1 @@
+lib/packet/tcp.ml: Bitstring Format Int64 List String

@@ -1,0 +1,1 @@
+lib/packet/tcp.mli: Bitstring Format

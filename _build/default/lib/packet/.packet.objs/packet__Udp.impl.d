@@ -1,0 +1,1 @@
+lib/packet/udp.ml: Bitstring Format Int64

@@ -1,0 +1,1 @@
+lib/packet/udp.mli: Bitstring Format

@@ -1,0 +1,1 @@
+lib/packet/vlan.ml: Bitstring Format Proto

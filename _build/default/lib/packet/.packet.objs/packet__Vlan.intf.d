@@ -1,0 +1,1 @@
+lib/packet/vlan.mli: Bitstring Format

@@ -1,0 +1,47 @@
+let byte v shift = Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xffL)
+
+let mac_to_string v =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" (byte v 40) (byte v 32) (byte v 24)
+    (byte v 16) (byte v 8) (byte v 0)
+
+let mac_of_string s =
+  let parts = String.split_on_char ':' s in
+  if List.length parts <> 6 then invalid_arg "Addr.mac_of_string";
+  List.fold_left
+    (fun acc p ->
+      let b =
+        try int_of_string ("0x" ^ p) with Failure _ -> invalid_arg "Addr.mac_of_string"
+      in
+      if b < 0 || b > 255 then invalid_arg "Addr.mac_of_string";
+      Int64.logor (Int64.shift_left acc 8) (Int64.of_int b))
+    0L parts
+
+let ipv4_to_string v =
+  Printf.sprintf "%d.%d.%d.%d" (byte v 24) (byte v 16) (byte v 8) (byte v 0)
+
+let ipv4_of_string s =
+  let parts = String.split_on_char '.' s in
+  if List.length parts <> 4 then invalid_arg "Addr.ipv4_of_string";
+  List.fold_left
+    (fun acc p ->
+      let b = try int_of_string p with Failure _ -> invalid_arg "Addr.ipv4_of_string" in
+      if b < 0 || b > 255 then invalid_arg "Addr.ipv4_of_string";
+      Int64.logor (Int64.shift_left acc 8) (Int64.of_int b))
+    0L parts
+
+let ipv6_to_string (hi, lo) =
+  let seg v shift = Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xffffL) in
+  Printf.sprintf "%04x:%04x:%04x:%04x:%04x:%04x:%04x:%04x" (seg hi 48) (seg hi 32)
+    (seg hi 16) (seg hi 0) (seg lo 48) (seg lo 32) (seg lo 16) (seg lo 0)
+
+let ipv4_prefix s =
+  match String.index_opt s '/' with
+  | None -> (ipv4_of_string s, 32)
+  | Some i ->
+      let addr = ipv4_of_string (String.sub s 0 i) in
+      let plen =
+        try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+        with Failure _ -> invalid_arg "Addr.ipv4_prefix"
+      in
+      if plen < 0 || plen > 32 then invalid_arg "Addr.ipv4_prefix";
+      (addr, plen)

@@ -1,0 +1,22 @@
+(** Address formatting and parsing helpers.
+
+    MAC addresses are 48-bit values, IPv4 addresses 32-bit values, IPv6
+    addresses (hi, lo) 64-bit pairs; all stored in [int64]s. *)
+
+val mac_to_string : int64 -> string
+(** "aa:bb:cc:dd:ee:ff" *)
+
+val mac_of_string : string -> int64
+(** @raise Invalid_argument on malformed input. *)
+
+val ipv4_to_string : int64 -> string
+(** "192.168.0.1" *)
+
+val ipv4_of_string : string -> int64
+(** @raise Invalid_argument on malformed input. *)
+
+val ipv6_to_string : int64 * int64 -> string
+(** Full uncompressed form, "2001:0db8:...". *)
+
+val ipv4_prefix : string -> int64 * int
+(** ["10.0.0.0/8"] -> (address, prefix length). A bare address means /32. *)

@@ -1,0 +1,1 @@
+lib/sdnet/compile.ml: Config Format Fun List P4ir Pipeline Printf Quirks Resource String

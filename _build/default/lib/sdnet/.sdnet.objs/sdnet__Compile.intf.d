@@ -1,0 +1,1 @@
+lib/sdnet/compile.mli: Config Format P4ir Pipeline Quirks

@@ -1,0 +1,1 @@
+lib/sdnet/quirks.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/sdnet/quirks.mli: Format

@@ -1,0 +1,281 @@
+module Ast = P4ir.Ast
+module Exec = P4ir.Exec
+module Parse = P4ir.Parse
+
+type report = { pipeline : Pipeline.t; warnings : string list; quirks : Quirks.t }
+
+type error = { e_where : string; e_msg : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.e_where e.e_msg
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic but deterministic resource/latency cost model             *)
+(* ------------------------------------------------------------------ *)
+
+let fixed_overhead = Resource.make ~luts:8000 ~ffs:12000 ~brams:20 ()
+
+let rec stmt_count (s : Ast.stmt) =
+  match s with
+  | Ast.If (_, a, b) -> 1 + stmts_count a + stmts_count b
+  | Ast.Assign _ | Ast.Apply _ | Ast.SetValid _ | Ast.SetInvalid _ | Ast.MarkToDrop
+  | Ast.Count _ | Ast.Assert _ | Ast.RegRead _ | Ast.RegWrite _ | Ast.Nop ->
+      1
+
+and stmts_count l = List.fold_left (fun acc s -> acc + stmt_count s) 0 l
+
+let parser_stage program =
+  let states = program.Ast.p_parser in
+  let extracted_bits =
+    List.fold_left
+      (fun acc (st : Ast.parser_state) ->
+        List.fold_left
+          (fun acc h ->
+            match Ast.find_header program h with
+            | Some hd -> acc + Ast.header_width hd
+            | None -> acc)
+          acc st.ps_extracts)
+      0 states
+  in
+  {
+    Pipeline.s_name = "parser";
+    s_kind = Pipeline.Parser_engine;
+    s_latency_cycles = 2 + (2 * List.length states);
+    s_resources =
+      Resource.make
+        ~luts:((150 * List.length states) + (4 * extracted_bits))
+        ~ffs:((200 * List.length states) + (2 * extracted_bits))
+        ();
+  }
+
+let key_bits program (tbl : Ast.table) =
+  List.fold_left
+    (fun acc (k, _) ->
+      match P4ir.Typecheck.expr_width program ~params:[] k with
+      | Ok w -> acc + w
+      | Error _ -> acc)
+    0 tbl.Ast.t_keys
+
+let table_kind (tbl : Ast.table) =
+  if List.exists (fun (_, k) -> k = Ast.Ternary) tbl.Ast.t_keys then Ast.Ternary
+  else if List.exists (fun (_, k) -> k = Ast.Lpm) tbl.Ast.t_keys then Ast.Lpm
+  else Ast.Exact
+
+let action_result_bits program (tbl : Ast.table) =
+  List.fold_left
+    (fun acc aname ->
+      match Ast.find_action program aname with
+      | Some a ->
+          max acc
+            (List.fold_left (fun acc (p : Ast.field_decl) -> acc + p.f_width) 16 a.a_params)
+      | None -> acc)
+    16 tbl.Ast.t_actions
+
+let max_action_stmts program (tbl : Ast.table) =
+  List.fold_left
+    (fun acc aname ->
+      match Ast.find_action program aname with
+      | Some a -> max acc (stmts_count a.a_body)
+      | None -> acc)
+    0 tbl.Ast.t_actions
+
+let table_stage program (tbl : Ast.table) =
+  let kb = key_bits program tbl in
+  let ab = action_result_bits program tbl in
+  let entry_bits = kb + ab in
+  let brams36k bits = (bits + 36863) / 36864 in
+  let kind = table_kind tbl in
+  let resources =
+    match kind with
+    | Ast.Exact ->
+        Resource.make
+          ~luts:(500 + (2 * kb))
+          ~ffs:(300 + kb)
+          ~brams:(brams36k (tbl.t_size * entry_bits))
+          ()
+    | Ast.Lpm ->
+        Resource.make
+          ~luts:(800 + (4 * kb))
+          ~ffs:(400 + (2 * kb))
+          ~brams:(2 * brams36k (tbl.t_size * entry_bits))
+          ()
+    | Ast.Ternary ->
+        Resource.make
+          ~luts:(300 + kb)
+          ~ffs:(200 + kb)
+          ~brams:(brams36k (tbl.t_size * ab))
+          ~tcam_bits:(tbl.t_size * kb)
+          ()
+  in
+  let base_latency = match kind with Ast.Exact -> 4 | Ast.Lpm -> 6 | Ast.Ternary -> 3 in
+  {
+    Pipeline.s_name = "ma:" ^ tbl.t_name;
+    s_kind = Pipeline.Match_action tbl.t_name;
+    s_latency_cycles = base_latency + max 1 (max_action_stmts program tbl);
+    s_resources = resources;
+  }
+
+(* register arrays consume block RAM plus a small access datapath *)
+let register_resources (program : Ast.program) =
+  Resource.sum
+    (List.map
+       (fun (r : Ast.register_decl) ->
+         Resource.make ~luts:(120 + r.r_width) ~ffs:(60 + r.r_width)
+           ~brams:((r.r_size * r.r_width / 36864) + 1)
+           ())
+       program.Ast.p_registers)
+
+let egress_stage program =
+  let n = stmts_count program.Ast.p_egress in
+  {
+    Pipeline.s_name = "egress";
+    s_kind = Pipeline.Egress_engine;
+    s_latency_cycles = 2 + n;
+    s_resources = Resource.make ~luts:(100 + (10 * n)) ~ffs:(80 + (8 * n)) ();
+  }
+
+let deparser_stage program =
+  let n = List.length program.Ast.p_deparser in
+  {
+    Pipeline.s_name = "deparser";
+    s_kind = Pipeline.Deparser_engine;
+    s_latency_cycles = 2 + n;
+    s_resources = Resource.make ~luts:(50 + (120 * n)) ~ffs:(40 + (100 * n)) ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Quirk application                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Select_cases_truncated rewrites the program the hardware actually runs;
+   the other quirks become semantic hooks. *)
+let transform_program quirks (program : Ast.program) =
+  match Quirks.select_truncation quirks with
+  | None -> program
+  | Some n ->
+      let truncate_state (st : Ast.parser_state) =
+        match st.ps_transition with
+        | Ast.Direct _ -> st
+        | Ast.Select (keys, cases, default) ->
+            let rec take k = function
+              | [] -> []
+              | _ when k = 0 -> []
+              | c :: rest -> c :: take (k - 1) rest
+            in
+            { st with ps_transition = Ast.Select (keys, take n cases, default) }
+      in
+      { program with p_parser = List.map truncate_state program.p_parser }
+
+let parse_hooks quirks (config : Config.t) =
+  {
+    Parse.on_reject =
+      (if Quirks.has_reject_unimplemented quirks then `Continue else `Drop);
+    verify_checksum = not (Quirks.has quirks Quirks.Checksum_not_handled);
+    max_steps = config.Config.max_parser_states;
+  }
+
+let exec_hooks quirks =
+  {
+    Exec.shift_amount =
+      (match Quirks.shift_truncation quirks with
+      | None -> Fun.id
+      | Some n -> fun a -> a land ((1 lsl n) - 1));
+    drop_effective =
+      (fun phase ->
+        match phase with
+        | Exec.Egress -> not (Quirks.has quirks Quirks.Egress_drop_ignored)
+        | Exec.Ingress -> true);
+    degrade_ternary_to_exact = Quirks.has quirks Quirks.Ternary_as_exact;
+    table_always_miss = (fun _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?(quirks = Quirks.default) ?(config = Config.netfpga_sume) program =
+  let errors = ref [] in
+  let warnings = ref [] in
+  let err where fmt =
+    Printf.ksprintf (fun msg -> errors := { e_where = where; e_msg = msg } :: !errors) fmt
+  in
+  let warn fmt = Printf.ksprintf (fun msg -> warnings := msg :: !warnings) fmt in
+  (match P4ir.Typecheck.check program with
+  | Ok () -> ()
+  | Error errs ->
+      List.iter
+        (fun (e : P4ir.Typecheck.error) -> err e.P4ir.Typecheck.loc "%s" e.P4ir.Typecheck.msg)
+        errs);
+  (* architecture limits *)
+  let nstates = List.length program.Ast.p_parser in
+  if nstates > config.Config.max_parser_states then
+    err "parser" "%d states exceed the target limit of %d" nstates
+      config.Config.max_parser_states;
+  let ntables = List.length program.Ast.p_tables in
+  if ntables > config.Config.max_tables then
+    err "pipeline" "%d tables exceed the target limit of %d" ntables
+      config.Config.max_tables;
+  List.iter
+    (fun (tbl : Ast.table) ->
+      if tbl.t_size > config.Config.max_table_entries then
+        err ("table " ^ tbl.t_name) "size %d exceeds the target limit of %d" tbl.t_size
+          config.Config.max_table_entries;
+      let kb = key_bits program tbl in
+      if kb > config.Config.max_key_bits then
+        err ("table " ^ tbl.t_name) "key width %d exceeds the target limit of %d" kb
+          config.Config.max_key_bits;
+      if tbl.t_size land (tbl.t_size - 1) <> 0 then
+        warn "table %s: size %d rounded up to a power of two by the memory generator"
+          tbl.t_name tbl.t_size)
+    program.Ast.p_tables;
+  match List.rev !errors with
+  | _ :: _ as errs -> Error errs
+  | [] ->
+      let hw_program = transform_program quirks program in
+      let stages =
+        (parser_stage hw_program :: List.map (table_stage hw_program) hw_program.Ast.p_tables)
+        @ [ egress_stage hw_program; deparser_stage hw_program ]
+      in
+      let resources =
+        Resource.sum
+          (fixed_overhead :: register_resources hw_program
+          :: List.map (fun s -> s.Pipeline.s_resources) stages)
+      in
+      if not (Resource.fits resources config) then
+        Error
+          [
+            {
+              e_where = "place-and-route";
+              e_msg =
+                Format.asprintf "design needs %a, exceeding the %s budget" Resource.pp
+                  resources config.Config.name;
+            };
+          ]
+      else
+        let pipeline =
+          Pipeline.make ~program:hw_program ~config
+            ~parse_hooks:(parse_hooks quirks config)
+            ~exec_hooks:(exec_hooks quirks)
+            ~update_ipv4_checksum:
+              (hw_program.Ast.p_update_ipv4_checksum
+              && not (Quirks.has quirks Quirks.Checksum_not_handled))
+            ~stages ~resources
+        in
+        Ok { pipeline; warnings = List.rev !warnings; quirks }
+
+let compile_exn ?quirks ?config program =
+  match compile ?quirks ?config program with
+  | Ok report -> report
+  | Error errs ->
+      let msg = String.concat "; " (List.map (Format.asprintf "%a" pp_error) errs) in
+      invalid_arg ("Sdnet.Compile: " ^ msg)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%a@," Pipeline.pp r.pipeline;
+  Format.fprintf ppf "quirks: %a@," Quirks.pp r.quirks;
+  List.iter (fun w -> Format.fprintf ppf "warning: %s@," w) r.warnings;
+  let util =
+    Resource.utilization r.pipeline.Pipeline.resources r.pipeline.Pipeline.config
+  in
+  Format.fprintf ppf "utilization:";
+  List.iter (fun (n, p) -> Format.fprintf ppf " %s=%.1f%%" n p) util;
+  Format.fprintf ppf "@]"

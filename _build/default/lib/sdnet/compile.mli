@@ -1,0 +1,31 @@
+(** The SDNet-style compiler: IR program -> target pipeline.
+
+    Responsibilities mirror the real tool: front-end checks, architecture
+    limit enforcement, per-stage resource estimation, latency assignment —
+    and, through the quirk model, the semantic deviations a hardware
+    toolchain can introduce silently. *)
+
+type report = {
+  pipeline : Pipeline.t;
+  warnings : string list;
+  quirks : Quirks.t;  (** quirks active in the produced pipeline *)
+}
+
+type error = { e_where : string; e_msg : string }
+
+val compile :
+  ?quirks:Quirks.t -> ?config:Config.t -> P4ir.Ast.program -> (report, error list) result
+(** [quirks] defaults to {!Quirks.default} (i.e. the shipped toolchain with
+    the reject bug); [config] defaults to {!Config.netfpga_sume}. Errors
+    cover typechecking failures and architecture limits (too many parser
+    states or tables, oversized tables, too-wide keys, resource budget
+    exceeded). *)
+
+val compile_exn : ?quirks:Quirks.t -> ?config:Config.t -> P4ir.Ast.program -> report
+(** @raise Invalid_argument on compile errors. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val pp_report : Format.formatter -> report -> unit
+(** Per-stage resources, totals and utilization: the artefact of the
+    resources-quantification use-case. *)

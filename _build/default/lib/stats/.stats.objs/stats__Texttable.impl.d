@@ -1,0 +1,1 @@
+lib/stats/texttable.ml: Array Buffer Format List String

@@ -1,0 +1,53 @@
+type t = { name : string; mutable value : int64 }
+
+let create name = { name; value = 0L }
+
+let name t = t.name
+
+let incr t = t.value <- Int64.add t.value 1L
+
+let add t n = t.value <- Int64.add t.value n
+
+let get t = t.value
+
+let reset t = t.value <- 0L
+
+let pp ppf t = Format.fprintf ppf "%s=%Ld" t.name t.value
+
+module Set = struct
+  type counter = t
+
+  type nonrec t = (string, counter) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+
+  let find set n =
+    match Hashtbl.find_opt set n with
+    | Some c -> c
+    | None ->
+        let c = { name = n; value = 0L } in
+        Hashtbl.add set n c;
+        c
+
+  let get set n = match Hashtbl.find_opt set n with Some c -> c.value | None -> 0L
+
+  let incr set n =
+    let c = find set n in
+    c.value <- Int64.add c.value 1L
+
+  let add set n v =
+    let c = find set n in
+    c.value <- Int64.add c.value v
+
+  let reset_all set = Hashtbl.iter (fun _ c -> c.value <- 0L) set
+
+  let to_alist set =
+    Hashtbl.fold (fun n c acc -> (n, c.value) :: acc) set []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let pp ppf set =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "@\n")
+      (fun ppf (n, v) -> Format.fprintf ppf "%-32s %Ld" n v)
+      ppf (to_alist set)
+end

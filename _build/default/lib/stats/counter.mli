@@ -1,0 +1,34 @@
+(** Named monotonically increasing 64-bit counters, the basic telemetry
+    primitive of the device model and the NetDebug checker. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+val incr : t -> unit
+val add : t -> int64 -> unit
+val get : t -> int64
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+
+module Set : sig
+  (** A registry of counters addressed by name, e.g. the counter block of a
+      pipeline stage. Reads of unknown counters return zero rather than
+      failing, matching hardware counter-register semantics. *)
+
+  type counter = t
+  type t
+
+  val create : unit -> t
+  val find : t -> string -> counter
+  (** Find or create. *)
+
+  val get : t -> string -> int64
+  val incr : t -> string -> unit
+  val add : t -> string -> int64 -> unit
+  val reset_all : t -> unit
+  val to_alist : t -> (string * int64) list
+  (** Sorted by name. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,102 @@
+(* Log-binned histogram: bin i covers [base^i, base^(i+1)). Values below 1.0
+   land in bin 0. base is chosen so relative bin error stays within ~5%. *)
+
+let base = 1.05
+
+let log_base = log base
+
+let nbins = 1024
+
+type t = {
+  bins : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let create () =
+  {
+    bins = Array.make nbins 0;
+    n = 0;
+    sum = 0.;
+    sumsq = 0.;
+    minv = infinity;
+    maxv = 0.;
+  }
+
+let bin_of v = if v < 1.0 then 0 else min (nbins - 1) (1 + int_of_float (log v /. log_base))
+
+let upper_of i = if i = 0 then 1.0 else base ** float_of_int i
+
+let add t v =
+  let v = if v < 0. then 0. else v in
+  t.bins.(bin_of v) <- t.bins.(bin_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  t.sumsq <- t.sumsq +. (v *. v);
+  if v < t.minv then t.minv <- v;
+  if v > t.maxv then t.maxv <- v
+
+let count t = t.n
+
+let total t = t.sum
+
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let min_value t = t.minv
+
+let max_value t = t.maxv
+
+let stddev t =
+  if t.n < 2 then 0.
+  else
+    let m = mean t in
+    let var = (t.sumsq /. float_of_int t.n) -. (m *. m) in
+    if var < 0. then 0. else sqrt var
+
+let percentile t p =
+  if t.n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int t.n)) in
+    let rank = max 1 (min t.n rank) in
+    let acc = ref 0 in
+    let result = ref t.maxv in
+    (try
+       for i = 0 to nbins - 1 do
+         acc := !acc + t.bins.(i);
+         if !acc >= rank then begin
+           result := min t.maxv (upper_of i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to nbins - 1 do
+    t.bins.(i) <- a.bins.(i) + b.bins.(i)
+  done;
+  t.n <- a.n + b.n;
+  t.sum <- a.sum +. b.sum;
+  t.sumsq <- a.sumsq +. b.sumsq;
+  t.minv <- min a.minv b.minv;
+  t.maxv <- max a.maxv b.maxv;
+  t
+
+let clear t =
+  Array.fill t.bins 0 nbins 0;
+  t.n <- 0;
+  t.sum <- 0.;
+  t.sumsq <- 0.;
+  t.minv <- infinity;
+  t.maxv <- 0.
+
+let pp_summary ppf t =
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f" t.n (mean t)
+      (percentile t 50.) (percentile t 99.) t.maxv

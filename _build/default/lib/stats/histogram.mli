@@ -1,0 +1,38 @@
+(** Streaming histogram with exact retention of small samples and
+    logarithmic binning beyond, used for latency distributions.
+
+    Values are non-negative floats (we use nanoseconds). Percentile queries
+    are upper bounds of the containing bin, so reported quantiles never
+    understate latency. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> float
+(** +inf when empty. *)
+
+val max_value : t -> float
+(** 0 when empty. *)
+
+val stddev : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]]. 0 when empty. *)
+
+val merge : t -> t -> t
+(** New histogram holding both datasets. *)
+
+val clear : t -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** "n=.. mean=.. p50=.. p99=.. max=..". *)

@@ -1,0 +1,56 @@
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let normalize ncols cells =
+  let rec take n = function
+    | _ when n = 0 -> []
+    | [] -> List.init n (fun _ -> "")
+    | c :: rest -> c :: take (n - 1) rest
+  in
+  take ncols cells
+
+let render t =
+  let ncols = List.length t.headers in
+  let rows = List.rev t.rows in
+  let all_cells =
+    t.headers
+    :: List.filter_map (function Cells c -> Some (normalize ncols c) | Separator -> None) rows
+  in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun cells ->
+      List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells)
+    all_cells;
+  let buf = Buffer.create 256 in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf (if i = 0 then "| " else " | ");
+        Buffer.add_string buf (pad c widths.(i)))
+      (normalize ncols cells);
+    Buffer.add_string buf " |\n"
+  in
+  let emit_sep () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (if i = 0 then "+" else "+");
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  emit_sep ();
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter (function Cells c -> emit_cells c | Separator -> emit_sep ()) rows;
+  emit_sep ();
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (render t)

@@ -1,0 +1,1 @@
+lib/symexec/check.ml: Bitutil Format Hashtbl List Option P4ir Printf Sexec Solver String Sym

@@ -1,0 +1,1 @@
+lib/symexec/check.mli: Bitutil Format P4ir

@@ -1,0 +1,1 @@
+lib/symexec/sexec.ml: Bitutil Format Hashtbl Int64 List Option P4ir Printf Solver String Sym

@@ -1,0 +1,1 @@
+lib/symexec/sexec.mli: Bitutil Format P4ir Solver Sym

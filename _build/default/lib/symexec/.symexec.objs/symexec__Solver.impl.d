@@ -1,0 +1,1 @@
+lib/symexec/solver.ml: Array Bitutil Format Hashtbl Int64 List P4ir Sym

@@ -1,0 +1,1 @@
+lib/symexec/solver.mli: Format P4ir Sym

@@ -1,0 +1,1 @@
+lib/symexec/sym.ml: Format Hashtbl List P4ir

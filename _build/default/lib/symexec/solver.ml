@@ -1,0 +1,310 @@
+module Value = P4ir.Value
+module Ast = P4ir.Ast
+module Prng = Bitutil.Prng
+
+type model = (int, Value.t) Hashtbl.t
+
+type result = Sat of model | Unsat | Unknown
+
+let model_value m id =
+  match Hashtbl.find_opt m id with Some v -> v | None -> Value.zero 1
+
+let model_bindings m =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_model name_of ppf m =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf (id, v) -> Format.fprintf ppf "%s=%a" (name_of id) Value.pp v)
+    ppf (model_bindings m)
+
+let holds m conj =
+  List.for_all
+    (fun c ->
+      let lookup id =
+        match Hashtbl.find_opt m id with
+        | Some v -> v
+        | None ->
+            (* unconstrained variables read as zero of their true width; we
+               recover the width from the expression's own var list *)
+            let w =
+              match List.find_opt (fun (v : Sym.var) -> v.Sym.v_id = id) (Sym.vars c) with
+              | Some v -> v.Sym.v_width
+              | None -> 1
+            in
+            Value.zero w
+      in
+      Value.to_bool (Sym.eval lookup c))
+    conj
+
+(* ------------------------------------------------------------------ *)
+(* Candidate mining                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* For every variable, gather values likely to matter: constants compared
+   against it (directly, under masks, shifts or slices), neighbours of
+   those constants, and the extremes. *)
+let mine_candidates constraints =
+  let candidates : (int, (int64, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let widths : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let add (v : Sym.var) value =
+    Hashtbl.replace widths v.Sym.v_id v.Sym.v_width;
+    let mask =
+      if v.Sym.v_width >= 64 then -1L else Int64.sub (Int64.shift_left 1L v.Sym.v_width) 1L
+    in
+    let tbl =
+      match Hashtbl.find_opt candidates v.Sym.v_id with
+      | Some t -> t
+      | None ->
+          let t = Hashtbl.create 8 in
+          Hashtbl.add candidates v.Sym.v_id t;
+          t
+    in
+    Hashtbl.replace tbl (Int64.logand value mask) ()
+  in
+  let add_with_neighbours v value =
+    add v value;
+    add v (Int64.add value 1L);
+    add v (Int64.sub value 1L)
+  in
+  (* match [expr ~ const] shapes, attributing candidate values to the
+     variable underneath the expression *)
+  let rec attribute expr (value : int64) =
+    match (expr : Sym.t) with
+    | Sym.Var v -> add_with_neighbours v value
+    | Sym.Bin (Ast.BAnd, e, Sym.Const m) | Sym.Bin (Ast.BAnd, Sym.Const m, e) ->
+        (* (e & m) ~ value: e = value on the masked bits; fill rest with 0
+           and with 1s *)
+        attribute e value;
+        attribute e (Int64.logor value (Int64.lognot (Value.to_int64 m)))
+    | Sym.Bin (Ast.Shr, e, Sym.Const s) ->
+        (* (e >> s) ~ value: e = value << s (LPM shape) *)
+        let s = Value.to_int s in
+        if s < 64 then begin
+          attribute e (Int64.shift_left value s);
+          attribute e (Int64.logor (Int64.shift_left value s) (Int64.sub (Int64.shift_left 1L (min s 63)) 1L))
+        end
+    | Sym.Bin (Ast.Shl, e, Sym.Const s) ->
+        let s = Value.to_int s in
+        if s < 64 then attribute e (Int64.shift_right_logical value s)
+    | Sym.Bin (Ast.Add, e, Sym.Const c) -> attribute e (Int64.sub value (Value.to_int64 c))
+    | Sym.Bin (Ast.Sub, e, Sym.Const c) -> attribute e (Int64.add value (Value.to_int64 c))
+    | Sym.Bin (Ast.BXor, e, Sym.Const c) -> attribute e (Int64.logxor value (Value.to_int64 c))
+    | Sym.Slice (e, _, lsb) -> attribute e (Int64.shift_left value lsb)
+    | Sym.Concat (a, b) ->
+        let wb = Sym.width b in
+        attribute a (Int64.shift_right_logical value wb);
+        attribute b value
+    | Sym.Const _ | Sym.Bin _ | Sym.Un _ -> List.iter (fun v -> add_with_neighbours v value) (Sym.vars expr)
+  in
+  let rec walk (c : Sym.t) =
+    match c with
+    | Sym.Bin ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), e, Sym.Const v) ->
+        attribute e (Value.to_int64 v)
+    | Sym.Bin ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), Sym.Const v, e) ->
+        attribute e (Value.to_int64 v)
+    | Sym.Bin (_, a, b) | Sym.Concat (a, b) ->
+        walk a;
+        walk b
+    | Sym.Un (_, a) | Sym.Slice (a, _, _) -> walk a
+    | Sym.Var _ | Sym.Const _ -> ()
+  in
+  List.iter walk constraints;
+  (* ensure every variable of every constraint has a slot plus extremes *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (v : Sym.var) ->
+          add v 0L;
+          add v 1L;
+          add v (-1L))
+        (Sym.vars c))
+    constraints;
+  (candidates, widths)
+
+(* ------------------------------------------------------------------ *)
+(* Cheap UNSAT detection: known-bits propagation                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Path conditions routinely contain the same information expressed two
+   ways (a select on [dst >> 16] and a table entry matching [dst & mask]):
+   branch negation then creates contradictions no amount of search can
+   satisfy. We collect per-variable known bits from positive equality
+   facts and refute any literal those bits determine to be false. *)
+
+let full_mask w = if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+(* (var, mask, value): the bits of [var] selected by [mask] equal [value].
+   Returns None when the expression is not an equality shape we track;
+   Some None flags a self-contradictory fact (constraint is UNSAT). *)
+let eq_fact e (c : Value.t) =
+  let cv = Value.to_int64 c in
+  match (e : Sym.t) with
+  | Sym.Var v ->
+      let m = full_mask v.Sym.v_width in
+      if Int64.logand cv (Int64.lognot m) <> 0L then Some None
+      else Some (Some (v.Sym.v_id, m, Int64.logand cv m))
+  | Sym.Bin (Ast.BAnd, Sym.Var v, Sym.Const m) | Sym.Bin (Ast.BAnd, Sym.Const m, Sym.Var v)
+    ->
+      let m = Int64.logand (Value.to_int64 m) (full_mask v.Sym.v_width) in
+      if Int64.logand cv (Int64.lognot m) <> 0L then Some None
+      else Some (Some (v.Sym.v_id, m, Int64.logand cv m))
+  | Sym.Bin (Ast.Shr, Sym.Var v, Sym.Const s) ->
+      let s = Value.to_int s in
+      if s >= 64 then None
+      else begin
+        let w = v.Sym.v_width in
+        let m = Int64.logand (Int64.shift_left (-1L) s) (full_mask w) in
+        let shifted = Int64.shift_left cv s in
+        if Int64.logand shifted (Int64.lognot m) <> 0L || Int64.shift_right_logical shifted s <> cv
+        then Some None
+        else Some (Some (v.Sym.v_id, m, Int64.logand shifted m))
+      end
+  | _ -> None
+
+let rec conjuncts (e : Sym.t) =
+  match e with
+  | Sym.Bin (Ast.LAnd, a, b) -> conjuncts a @ conjuncts b
+  | _ -> [ e ]
+
+let quick_unsat constraints =
+  let flat = List.concat_map conjuncts constraints in
+  (* phase 1: merge positive facts into known bits *)
+  let known : (int, int64 * int64) Hashtbl.t = Hashtbl.create 8 in
+  (* var id -> (mask of known bits, their values) *)
+  let contradiction = ref false in
+  let add_fact (id, m, v) =
+    let km, kv = match Hashtbl.find_opt known id with Some x -> x | None -> (0L, 0L) in
+    let overlap = Int64.logand km m in
+    if Int64.logand kv overlap <> Int64.logand v overlap then contradiction := true
+    else Hashtbl.replace known id (Int64.logor km m, Int64.logor kv (Int64.logand v m))
+  in
+  List.iter
+    (fun lit ->
+      match lit with
+      | Sym.Bin (Ast.Eq, e, Sym.Const c) | Sym.Bin (Ast.Eq, Sym.Const c, e) -> (
+          match eq_fact e c with
+          | Some (Some fact) -> add_fact fact
+          | Some None -> contradiction := true
+          | None -> ())
+      | _ -> ())
+    flat;
+  if !contradiction then true
+  else begin
+    (* phase 2: is the truth of an equality shape determined by the known
+       bits? *)
+    let determined e c =
+      match
+        match (e, c) with
+        | e, c -> eq_fact e c
+      with
+      | Some (Some (id, m, v)) -> (
+          match Hashtbl.find_opt known id with
+          | Some (km, kv) when Int64.logand km m = m ->
+              Some (Int64.logand kv m = v)
+          | Some _ | None -> None)
+      | Some None -> Some false
+      | None -> None
+    in
+    let rec definitely_true (lit : Sym.t) =
+      match lit with
+      | Sym.Bin (Ast.Eq, e, Sym.Const c) | Sym.Bin (Ast.Eq, Sym.Const c, e) ->
+          determined e c = Some true
+      | Sym.Bin (Ast.LAnd, a, b) -> definitely_true a && definitely_true b
+      | _ -> false
+    in
+    List.exists
+      (fun lit ->
+        match lit with
+        | Sym.Bin (Ast.Eq, e, Sym.Const c) | Sym.Bin (Ast.Eq, Sym.Const c, e) ->
+            determined e c = Some false
+        | Sym.Un (Ast.LNot, inner) -> definitely_true inner
+        | _ -> false)
+      flat
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?(seed = 0x5EED) ?(max_tries = 20000) ?(use_mining = true) constraints =
+  let constraints = List.filter (fun c -> c <> Sym.Const Value.tru) constraints in
+  if List.exists (fun c -> c = Sym.Const Value.fls) constraints then Unsat
+  else if constraints = [] then Sat (Hashtbl.create 1)
+  else if quick_unsat constraints then Unsat
+  else begin
+    let candidates, widths = mine_candidates constraints in
+    (* ablation mode: forget the mined values, keep only the extremes *)
+    if not use_mining then
+      Hashtbl.iter
+        (fun id tbl ->
+          Hashtbl.reset tbl;
+          let w = Hashtbl.find widths id in
+          let mask = if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L in
+          List.iter (fun v -> Hashtbl.replace tbl (Int64.logand v mask) ()) [ 0L; 1L; -1L ])
+        candidates;
+    let var_ids = Hashtbl.fold (fun id _ acc -> id :: acc) widths [] |> List.sort compare in
+    let cand_arrays =
+      List.map
+        (fun id ->
+          let tbl = Hashtbl.find candidates id in
+          let arr = Hashtbl.fold (fun v () acc -> v :: acc) tbl [] |> Array.of_list in
+          (id, Hashtbl.find widths id, arr))
+        var_ids
+    in
+    let prng = Prng.create seed in
+    let model = Hashtbl.create 16 in
+    (* Phase 1: when the mined candidate space is small enough, walk the
+       whole Cartesian product systematically — deterministic and complete
+       over the mined values (conjunctions over several constrained
+       variables are found immediately instead of waiting for a lucky
+       joint sample). *)
+    let product =
+      List.fold_left
+        (fun acc (_, _, arr) ->
+          if acc > max_tries then acc else acc * max 1 (Array.length arr))
+        1 cand_arrays
+    in
+    let enumerate () =
+      let vars = Array.of_list cand_arrays in
+      let n = Array.length vars in
+      let rec assign i =
+        if i = n then holds model constraints
+        else begin
+          let id, w, arr = vars.(i) in
+          let rec try_cand j =
+            j < Array.length arr
+            && begin
+                 Hashtbl.replace model id (Value.make ~width:w arr.(j));
+                 assign (i + 1) || try_cand (j + 1)
+               end
+          in
+          try_cand 0
+        end
+      in
+      Hashtbl.reset model;
+      assign 0
+    in
+    (* Phase 2: randomized sampling mixing mined candidates with fully
+       random values (covers constraints whose solutions are not mined). *)
+    let try_once i =
+      Hashtbl.reset model;
+      List.iter
+        (fun (id, w, arr) ->
+          let raw =
+            if Array.length arr > 0 && (i mod 4 <> 3 || Array.length arr > 16) then
+              Prng.choose prng arr
+            else Prng.bits prng ~width:w
+          in
+          Hashtbl.replace model id (Value.make ~width:w raw))
+        cand_arrays;
+      holds model constraints
+    in
+    let rec search i =
+      if i >= max_tries then Unknown
+      else if try_once i then Sat (Hashtbl.copy model)
+      else search (i + 1)
+    in
+    if product <= max_tries && enumerate () then Sat (Hashtbl.copy model) else search 0
+  end

@@ -1,0 +1,32 @@
+(** A bounded satisfiability search for conjunctions of width-1 symbolic
+    expressions.
+
+    The solver is {e sound for SAT}: a returned model is always verified
+    against every constraint before being reported. It is incomplete for
+    UNSAT — when the search budget is exhausted it answers [Unknown] (except
+    for trivially false constraint sets). This is the right trade-off for a
+    verification tool whose job is to {e find counterexamples}: candidate
+    values are mined from the constants that appear in the constraints
+    (select cases, table entries, comparison bounds), so realistic
+    data-plane path conditions are solved in a few thousand tries. *)
+
+type model
+
+type result = Sat of model | Unsat | Unknown
+
+val solve : ?seed:int -> ?max_tries:int -> ?use_mining:bool -> Sym.t list -> result
+(** Satisfiability of the conjunction. [max_tries] defaults to 20000.
+    [use_mining] (default true) enables candidate mining from the
+    constraints' constants; disabling it degrades the search to
+    extremes-plus-random sampling (exposed for the ablation bench). *)
+
+val model_value : model -> int -> P4ir.Value.t
+(** Value of a variable id in the model; unconstrained variables read 0. *)
+
+val holds : model -> Sym.t list -> bool
+(** Re-check a conjunction under a model (unassigned variables read 0). *)
+
+val model_bindings : model -> (int * P4ir.Value.t) list
+
+val pp_model : (int -> string) -> Format.formatter -> model -> unit
+(** [pp_model name_of ppf m] renders using the caller's variable names. *)

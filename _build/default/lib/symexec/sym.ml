@@ -1,0 +1,180 @@
+module Value = P4ir.Value
+module Ast = P4ir.Ast
+
+type var = { v_id : int; v_name : string; v_width : int }
+
+type t =
+  | Const of Value.t
+  | Var of var
+  | Bin of Ast.binop * t * t
+  | Un of Ast.unop * t
+  | Slice of t * int * int
+  | Concat of t * t
+
+let counter = ref 0
+
+let fresh_var ~name ~width =
+  incr counter;
+  Var { v_id = !counter; v_name = name; v_width = width }
+
+let const v = Const v
+
+let of_int ~width i = Const (Value.of_int ~width i)
+
+let rec width = function
+  | Const v -> Value.width v
+  | Var v -> v.v_width
+  | Bin ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.LAnd | Ast.LOr), _, _)
+    ->
+      1
+  | Bin (_, a, _) -> width a
+  | Un (Ast.LNot, _) -> 1
+  | Un (Ast.BNot, a) -> width a
+  | Slice (_, msb, lsb) -> msb - lsb + 1
+  | Concat (a, b) -> width a + width b
+
+let is_const = function Const v -> Some v | _ -> None
+
+let apply_binop op (a : Value.t) (b : Value.t) =
+  match (op : Ast.binop) with
+  | Ast.Add -> Value.add a b
+  | Ast.Sub -> Value.sub a b
+  | Ast.Mul -> Value.mul a b
+  | Ast.BAnd -> Value.logand a b
+  | Ast.BOr -> Value.logor a b
+  | Ast.BXor -> Value.logxor a b
+  | Ast.Shl -> Value.shift_left a (Value.to_int b)
+  | Ast.Shr -> Value.shift_right a (Value.to_int b)
+  | Ast.Eq -> Value.eq a b
+  | Ast.Neq -> Value.neq a b
+  | Ast.Lt -> Value.lt a b
+  | Ast.Le -> Value.le a b
+  | Ast.Gt -> Value.gt a b
+  | Ast.Ge -> Value.ge a b
+  | Ast.LAnd -> Value.of_bool (Value.to_bool a && Value.to_bool b)
+  | Ast.LOr -> Value.of_bool (Value.to_bool a || Value.to_bool b)
+
+let tru = Const Value.tru
+
+let fls = Const Value.fls
+
+let bin op a b =
+  match (is_const a, is_const b) with
+  | Some va, Some vb -> Const (apply_binop op va vb)
+  | ca, cb -> (
+      let zero v = match v with Some x -> Value.is_zero x | None -> false in
+      let all_ones v =
+        match v with
+        | Some x -> Value.equal x (Value.ones (Value.width x))
+        | None -> false
+      in
+      match (op : Ast.binop) with
+      | Ast.Add when zero cb -> a
+      | Ast.Add when zero ca -> b
+      | Ast.Sub when zero cb -> a
+      | Ast.BAnd when zero ca || zero cb -> Const (Value.zero (width a))
+      | Ast.BAnd when all_ones cb -> a
+      | Ast.BAnd when all_ones ca -> b
+      | Ast.BOr when zero cb -> a
+      | Ast.BOr when zero ca -> b
+      | Ast.BXor when zero cb -> a
+      | Ast.BXor when zero ca -> b
+      | Ast.LAnd when ca = Some Value.tru -> b
+      | Ast.LAnd when cb = Some Value.tru -> a
+      | Ast.LAnd when zero ca || zero cb -> fls
+      | Ast.LOr when zero ca -> b
+      | Ast.LOr when zero cb -> a
+      | Ast.LOr when ca = Some Value.tru || cb = Some Value.tru -> tru
+      | Ast.Eq when a = b -> tru
+      | Ast.Neq when a = b -> fls
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr
+      | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.LAnd | Ast.LOr ->
+          Bin (op, a, b))
+
+let un op a =
+  match (op, is_const a) with
+  | Ast.BNot, Some v -> Const (Value.lognot v)
+  | Ast.LNot, Some v -> Const (Value.of_bool (not (Value.to_bool v)))
+  | Ast.LNot, None -> ( match a with Un (Ast.LNot, inner) -> inner | _ -> Un (op, a))
+  | Ast.BNot, None -> ( match a with Un (Ast.BNot, inner) -> inner | _ -> Un (op, a))
+
+let slice e ~msb ~lsb =
+  if lsb = 0 && msb = width e - 1 then e
+  else
+    match is_const e with
+    | Some v -> Const (Value.slice v ~msb ~lsb)
+    | None -> Slice (e, msb, lsb)
+
+let concat a b =
+  match (is_const a, is_const b) with
+  | Some va, Some vb -> Const (Value.concat va vb)
+  | _ -> Concat (a, b)
+
+let not_ e = un Ast.LNot e
+
+let vars e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var v ->
+        if not (Hashtbl.mem seen v.v_id) then begin
+          Hashtbl.add seen v.v_id ();
+          acc := v :: !acc
+        end
+    | Bin (_, a, b) | Concat (a, b) ->
+        go a;
+        go b
+    | Un (_, a) | Slice (a, _, _) -> go a
+  in
+  go e;
+  List.rev !acc
+
+let rec eval lookup = function
+  | Const v -> v
+  | Var v -> lookup v.v_id
+  | Bin (op, a, b) -> (
+      (* short-circuit logicals to avoid evaluating irrelevant branches *)
+      match op with
+      | Ast.LAnd ->
+          if Value.to_bool (eval lookup a) then
+            Value.of_bool (Value.to_bool (eval lookup b))
+          else Value.fls
+      | Ast.LOr ->
+          if Value.to_bool (eval lookup a) then Value.tru
+          else Value.of_bool (Value.to_bool (eval lookup b))
+      | _ -> apply_binop op (eval lookup a) (eval lookup b))
+  | Un (Ast.BNot, a) -> Value.lognot (eval lookup a)
+  | Un (Ast.LNot, a) -> Value.of_bool (not (Value.to_bool (eval lookup a)))
+  | Slice (a, msb, lsb) -> Value.slice (eval lookup a) ~msb ~lsb
+  | Concat (a, b) -> Value.concat (eval lookup a) (eval lookup b)
+
+let equal = ( = )
+
+let binop_str (op : Ast.binop) =
+  match op with
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.BAnd -> "&"
+  | Ast.BOr -> "|"
+  | Ast.BXor -> "^"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+  | Ast.Eq -> "=="
+  | Ast.Neq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.LAnd -> "&&"
+  | Ast.LOr -> "||"
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Var v -> Format.fprintf ppf "%s#%d" v.v_name v.v_id
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_str op) pp b
+  | Un (Ast.BNot, a) -> Format.fprintf ppf "~%a" pp a
+  | Un (Ast.LNot, a) -> Format.fprintf ppf "!%a" pp a
+  | Slice (a, msb, lsb) -> Format.fprintf ppf "%a[%d:%d]" pp a msb lsb
+  | Concat (a, b) -> Format.fprintf ppf "(%a ++ %a)" pp a pp b

@@ -1,0 +1,52 @@
+(** Symbolic bit-vector expressions over the fields of an unknown packet.
+
+    The symbolic executor assigns every extracted header field a fresh
+    variable; all computation in the program then builds expressions over
+    those variables. Widths follow {!P4ir.Value} (1-64 bits); booleans are
+    width-1 expressions. *)
+
+type var = { v_id : int; v_name : string; v_width : int }
+
+type t =
+  | Const of P4ir.Value.t
+  | Var of var
+  | Bin of P4ir.Ast.binop * t * t
+  | Un of P4ir.Ast.unop * t
+  | Slice of t * int * int
+  | Concat of t * t
+
+val fresh_var : name:string -> width:int -> t
+(** Globally unique id; names are for diagnostics only. *)
+
+val const : P4ir.Value.t -> t
+
+val of_int : width:int -> int -> t
+
+val width : t -> int
+
+val is_const : t -> P4ir.Value.t option
+
+val bin : P4ir.Ast.binop -> t -> t -> t
+(** Smart constructor: constant-folds and applies simple identities
+    (x+0, x&0, x^x, masks, double negation, ...). *)
+
+val un : P4ir.Ast.unop -> t -> t
+
+val slice : t -> msb:int -> lsb:int -> t
+
+val concat : t -> t -> t
+
+val not_ : t -> t
+(** Boolean negation of a width-1 expression. *)
+
+val vars : t -> var list
+(** Distinct variables, by id. *)
+
+val eval : (int -> P4ir.Value.t) -> t -> P4ir.Value.t
+(** Evaluate under an assignment from var id to value.
+    @raise Not_found if the assignment misses a variable. *)
+
+val equal : t -> t -> bool
+(** Structural equality (after construction-time simplification). *)
+
+val pp : Format.formatter -> t -> unit

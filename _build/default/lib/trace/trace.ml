@@ -1,0 +1,61 @@
+type severity = Debug | Info | Warn | Error
+
+type event = {
+  time_ns : float;
+  component : string;
+  severity : severity;
+  message : string;
+  packet_id : int option;
+}
+
+type t = {
+  capacity : int;
+  buf : event option array;
+  mutable next : int;  (* next write slot *)
+  mutable total : int; (* events ever recorded *)
+}
+
+let create ?(capacity = 65536) () =
+  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let record t ?packet_id ?(severity = Info) ~time_ns ~component message =
+  t.buf.(t.next) <- Some { time_ns; component; severity; message; packet_id };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let events t =
+  let n = min t.total t.capacity in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let events_for_packet t id =
+  List.filter (fun e -> e.packet_id = Some id) (events t)
+
+let by_component t c = List.filter (fun e -> String.equal e.component c) (events t)
+
+let count t = min t.total t.capacity
+
+let dropped t = max 0 (t.total - t.capacity)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let severity_to_string = function
+  | Debug -> "DEBUG"
+  | Info -> "INFO"
+  | Warn -> "WARN"
+  | Error -> "ERROR"
+
+let pp_event ppf e =
+  let pid = match e.packet_id with None -> "" | Some i -> Printf.sprintf " pkt=%d" i in
+  Format.fprintf ppf "[%10.1fns] %-5s %-24s%s %s" e.time_ns
+    (severity_to_string e.severity)
+    e.component pid e.message
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf (events t)

@@ -1,0 +1,44 @@
+(** Bounded in-simulator event trace.
+
+    Every component of the device model (parser engine, match-action stages,
+    queues, NetDebug generator/checker) logs events here, tagged with the
+    component name and the virtual timestamp. NetDebug's fault localization
+    reads per-packet event sequences back from the trace. *)
+
+type severity = Debug | Info | Warn | Error
+
+type event = {
+  time_ns : float;  (** virtual time of the event *)
+  component : string;  (** e.g. "stage[2]:ipv4_lpm" *)
+  severity : severity;
+  message : string;
+  packet_id : int option;  (** correlates events of one packet's traversal *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer; oldest events are dropped past [capacity] (default 65536). *)
+
+val record :
+  t -> ?packet_id:int -> ?severity:severity -> time_ns:float -> component:string -> string -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val events_for_packet : t -> int -> event list
+
+val by_component : t -> string -> event list
+
+val count : t -> int
+
+val dropped : t -> int
+(** Number of events evicted due to the capacity bound. *)
+
+val clear : t -> unit
+
+val severity_to_string : severity -> string
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_bitutil.ml: Alcotest Bitutil Char Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Netdebug P4front P4ir Packet Printf Sdnet String Symexec Target

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Bitutil Int64 List P4ir Packet Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_netdebug.ml: Alcotest Bitutil Buffer Int64 List Netdebug P4ir Packet QCheck QCheck_alcotest Result Sdnet String Symexec Target

@@ -1,0 +1,1 @@
+test/test_osnt.ml: Alcotest List Osnt P4ir Packet Sdnet Target

@@ -1,0 +1,1 @@
+test/test_p4front.ml: Alcotest Bitutil Gen List Netdebug P4front P4ir Packet QCheck QCheck_alcotest Sdnet Test

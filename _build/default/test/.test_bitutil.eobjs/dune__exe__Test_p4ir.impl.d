@@ -1,0 +1,1 @@
+test/test_p4ir.ml: Alcotest Format Int64 List P4ir QCheck QCheck_alcotest String

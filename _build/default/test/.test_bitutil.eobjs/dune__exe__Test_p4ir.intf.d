@@ -1,0 +1,1 @@
+test/test_p4ir.mli:

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bitutil Int64 List Packet QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sdnet.ml: Alcotest Bitutil Format List P4ir Packet Printf Sdnet String Target

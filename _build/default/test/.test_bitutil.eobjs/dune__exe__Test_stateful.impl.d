@@ -1,0 +1,1 @@
+test/test_stateful.ml: Alcotest Array Bitutil Fmt Int64 List Netdebug P4front P4ir Packet Sdnet Stats Symexec Target

@@ -1,0 +1,1 @@
+test/test_symexec.ml: Alcotest Bitutil List P4ir QCheck QCheck_alcotest String Symexec

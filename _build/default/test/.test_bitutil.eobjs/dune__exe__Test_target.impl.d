@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Bitutil Fmt Int64 List P4ir Packet QCheck QCheck_alcotest Sdnet Stats Target Trace

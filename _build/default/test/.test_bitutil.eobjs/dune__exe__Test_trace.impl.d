@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Format List String Trace

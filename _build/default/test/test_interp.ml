@@ -1,0 +1,518 @@
+(* Behavioural tests of the reference interpreter over the program library. *)
+
+module Bitstring = Bitutil.Bitstring
+module Ast = P4ir.Ast
+module Value = P4ir.Value
+module Entry = P4ir.Entry
+module Runtime = P4ir.Runtime
+module Interp = P4ir.Interp
+module Programs = P4ir.Programs
+module Dsl = P4ir.Dsl
+module P = Packet
+module Ipv4 = Packet.Ipv4
+module Eth = Packet.Eth
+module Udp = Packet.Udp
+module Tcp = Packet.Tcp
+module Mpls = Packet.Mpls
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let deploy (b : Programs.bundle) =
+  let rt = Runtime.create () in
+  (match Runtime.install_all b.Programs.program rt b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (b.Programs.program, rt)
+
+let run ?(port = 0) (program, rt) pkt =
+  Interp.process program rt ~ingress_port:port (P.serialize pkt)
+
+let expect_forward what obs =
+  match obs.Interp.result with
+  | Interp.Forwarded (port, bits) -> (port, P.parse bits)
+  | Interp.Dropped r -> Alcotest.failf "%s: unexpectedly dropped (%s)" what r
+
+let expect_drop what reason obs =
+  match obs.Interp.result with
+  | Interp.Dropped r -> Alcotest.(check string) (what ^ " reason") reason r
+  | Interp.Forwarded (port, _) -> Alcotest.failf "%s: unexpectedly forwarded to %d" what port
+
+(* ---------------- basic_router ---------------- *)
+
+let test_router_forwards_and_rewrites () =
+  let dut = deploy Programs.basic_router in
+  let pkt = P.udp_ipv4 ~dst:0x0A000005L ~ttl:64L () in
+  let obs = run dut pkt in
+  let port, out = expect_forward "10.0.0.5" obs in
+  check_int "egress port" 1 port;
+  (match P.find_ipv4 out with
+  | Some ip ->
+      check_i64 "ttl decremented" 63L ip.Ipv4.ttl;
+      check_bool "checksum updated" true (Ipv4.checksum_ok ip)
+  | None -> Alcotest.fail "no ipv4 in output");
+  match P.find_eth out with
+  | Some e -> check_i64 "dmac rewritten" 0x0A0000000001L e.Eth.dst
+  | None -> Alcotest.fail "no eth in output"
+
+let test_router_longest_prefix () =
+  let dut = deploy Programs.basic_router in
+  let port_of dst =
+    fst (expect_forward "lpm" (run dut (P.udp_ipv4 ~dst ())))
+  in
+  check_int "10.1/16 wins over 10/8" 2 (port_of 0x0A010203L);
+  check_int "10/8 catches rest" 1 (port_of 0x0A020304L);
+  check_int "192.168/16" 3 (port_of 0xC0A80001L)
+
+let test_router_table_miss_drops () =
+  let dut = deploy Programs.basic_router in
+  let obs = run dut (P.udp_ipv4 ~dst:0x08080808L ()) in
+  expect_drop "8.8.8.8" "ingress" obs;
+  check_bool "miss counted" true (List.mem_assoc "ipv4_miss" obs.Interp.counters)
+
+let test_router_rejects_non_ipv4 () =
+  let dut = deploy Programs.basic_router in
+  let arp = P.arp_request () in
+  expect_drop "arp" "parser:Reject" (run dut arp)
+
+let test_router_rejects_bad_version () =
+  let dut = deploy Programs.basic_router in
+  let pkt = P.map_ipv4 (fun ip -> Ipv4.with_checksum { ip with Ipv4.version = 6L }) (P.udp_ipv4 ()) in
+  expect_drop "version 6" "parser:Reject" (run dut pkt)
+
+let test_router_rejects_bad_checksum () =
+  let dut = deploy Programs.basic_router in
+  let pkt = P.map_ipv4 (fun ip -> { ip with Ipv4.checksum = 0xBADL }) (P.udp_ipv4 ()) in
+  expect_drop "corrupted checksum" "parser:ChecksumError" (run dut pkt)
+
+let test_router_drops_expiring_ttl () =
+  let dut = deploy Programs.basic_router in
+  expect_drop "ttl 1" "ingress" (run dut (P.udp_ipv4 ~ttl:1L ()));
+  expect_drop "ttl 0" "ingress" (run dut (P.udp_ipv4 ~ttl:0L ()))
+
+let test_router_rejects_truncated_ipv4 () =
+  let dut = deploy Programs.basic_router in
+  let bits =
+    Bitstring.append
+      (Eth.to_bits (Eth.make ~ethertype:Packet.Proto.ethertype_ipv4 ()))
+      (Bitstring.of_hex "45000014")
+  in
+  let program, rt = dut in
+  let obs = Interp.process program rt ~ingress_port:0 bits in
+  expect_drop "truncated" "parser:PacketTooShort" obs
+
+let test_router_counters () =
+  let dut = deploy Programs.basic_router in
+  let obs = run dut (P.udp_ipv4 ~dst:0x0A000005L ()) in
+  check_bool "routed counter" true (List.mem_assoc "ipv4_routed" obs.Interp.counters);
+  check_int "no failed asserts" 0 (List.length obs.Interp.failed_asserts)
+
+let test_router_tables_trace () =
+  let dut = deploy Programs.basic_router in
+  let obs = run dut (P.udp_ipv4 ~dst:0x0A000005L ()) in
+  match obs.Interp.tables with
+  | [ ("ipv4_lpm", true, "set_nexthop") ] -> ()
+  | other ->
+      Alcotest.failf "unexpected table trace: %s"
+        (String.concat "," (List.map (fun (t, h, a) ->
+             Printf.sprintf "%s/%b/%s" t h a) other))
+
+(* ---------------- router_split equivalence ---------------- *)
+
+let test_split_router_equivalent () =
+  let a = deploy Programs.basic_router in
+  let b = deploy Programs.router_split in
+  let dsts = [ 0x0A000005L; 0x0A010203L; 0xC0A80001L; 0x08080808L; 0x0A020304L ] in
+  List.iter
+    (fun dst ->
+      let pkt = P.udp_ipv4 ~dst () in
+      let ra = (run a pkt).Interp.result and rb = (run b pkt).Interp.result in
+      match (ra, rb) with
+      | Interp.Forwarded (pa, ba), Interp.Forwarded (pb, bb) ->
+          check_int "same port" pa pb;
+          check_bool "same bits" true (Bitstring.equal ba bb)
+      | Interp.Dropped _, Interp.Dropped _ -> ()
+      | _ -> Alcotest.failf "divergence on %Lx" dst)
+    dsts
+
+let prop_split_router_equivalent =
+  QCheck.Test.make ~count:200 ~name:"basic_router == router_split on random packets"
+    QCheck.(triple (int_bound 0xFFFFFF) (int_range 2 255) (int_bound 1000))
+    (fun (dst_low, ttl, paylen) ->
+      let dst = Int64.of_int (0x0A000000 lor dst_low) in
+      let pkt = P.udp_ipv4 ~dst ~ttl:(Int64.of_int ttl) ~payload_bytes:paylen () in
+      let a = deploy Programs.basic_router and b = deploy Programs.router_split in
+      match ((run a pkt).Interp.result, (run b pkt).Interp.result) with
+      | Interp.Forwarded (pa, ba), Interp.Forwarded (pb, bb) ->
+          pa = pb && Bitstring.equal ba bb
+      | Interp.Dropped _, Interp.Dropped _ -> true
+      | _ -> false)
+
+(* ---------------- buggy_router ---------------- *)
+
+let test_buggy_router_skips_ttl_decrement () =
+  let dut = deploy Programs.buggy_router in
+  let _, out = expect_forward "buggy" (run dut (P.udp_ipv4 ~ttl:64L ())) in
+  match P.find_ipv4 out with
+  | Some ip -> check_i64 "ttl NOT decremented (the seeded bug)" 64L ip.Ipv4.ttl
+  | None -> Alcotest.fail "no ipv4"
+
+(* ---------------- parser_guard ---------------- *)
+
+let test_parser_guard_default_route () =
+  let dut = deploy Programs.parser_guard in
+  let port, _ = expect_forward "unknown dst" (run dut (P.udp_ipv4 ~dst:0x08080808L ())) in
+  check_int "default route to next hop" 1 port;
+  let port2, _ = expect_forward "10/8" (run dut (P.udp_ipv4 ~dst:0x0A000001L ())) in
+  check_int "specific route" 2 port2
+
+let test_parser_guard_punts_arp () =
+  let dut = deploy Programs.parser_guard in
+  let port, _ = expect_forward "arp" (run dut (P.arp_request ())) in
+  check_int "cpu port" 63 port
+
+let test_parser_guard_rejects_unknown_ethertype () =
+  let dut = deploy Programs.parser_guard in
+  let pkt = P.make [ P.Eth (Eth.make ~ethertype:0xBEEFL ()) ] ~payload:(P.payload_of_string "zz") () in
+  expect_drop "0xBEEF" "parser:Reject" (run dut pkt)
+
+(* ---------------- l2_switch ---------------- *)
+
+let test_l2_forwarding () =
+  let dut = deploy Programs.l2_switch in
+  let pkt = P.udp_ipv4 ~eth_dst:0x020000000002L () in
+  let port, _ = expect_forward "known dst" (run dut pkt) in
+  check_int "station 2" 2 port
+
+let test_l2_unknown_dst_drops () =
+  let dut = deploy Programs.l2_switch in
+  let obs = run dut (P.udp_ipv4 ~eth_dst:0x02FFFFFFFFFFL ()) in
+  expect_drop "unknown dst" "ingress" obs;
+  check_bool "miss counted" true (List.mem_assoc "l2_miss" obs.Interp.counters)
+
+let test_l2_smac_tracking () =
+  let dut = deploy Programs.l2_switch in
+  let known = run dut (P.udp_ipv4 ~eth_src:0x020000000001L ~eth_dst:0x020000000002L ()) in
+  check_bool "known src" true (List.mem_assoc "known_src" known.Interp.counters);
+  let unknown = run dut (P.udp_ipv4 ~eth_src:0x02AAAAAAAAAAL ~eth_dst:0x020000000002L ()) in
+  check_bool "unknown src" true (List.mem_assoc "unknown_src" unknown.Interp.counters)
+
+(* ---------------- acl_firewall ---------------- *)
+
+let test_acl_denies_telnet () =
+  let dut = deploy Programs.acl_firewall in
+  let pkt = P.tcp_ipv4 ~src:0x0A000001L ~dst:0x0A010001L ~dst_port:23L () in
+  let obs = run dut pkt in
+  expect_drop "telnet" "ingress" obs;
+  check_bool "deny counted" true (List.mem_assoc "acl_deny" obs.Interp.counters)
+
+let test_acl_permits_web_to_dmz () =
+  let dut = deploy Programs.acl_firewall in
+  let pkt = P.tcp_ipv4 ~src:0xC0A80001L ~dst:0x0A010005L ~dst_port:80L () in
+  let port, _ = expect_forward "web to dmz" (run dut pkt) in
+  check_int "routed to dmz" 2 port
+
+let test_acl_permits_internal_udp () =
+  let dut = deploy Programs.acl_firewall in
+  let pkt = P.udp_ipv4 ~src:0x0A000001L ~dst:0x0A000002L ~dst_port:4321L () in
+  let port, _ = expect_forward "internal udp" (run dut pkt) in
+  check_int "internal route" 1 port
+
+let test_acl_default_deny () =
+  let dut = deploy Programs.acl_firewall in
+  (* web to a non-DMZ destination matches no permit rule *)
+  let pkt = P.tcp_ipv4 ~src:0xC0A80001L ~dst:0x0A000005L ~dst_port:80L () in
+  expect_drop "default deny" "ingress" (run dut pkt)
+
+let test_acl_priority_order () =
+  (* telnet into the DMZ: both the deny-telnet (prio 100) and permit-web
+     rules exist; port 23 matches only deny. Port 80 matches permit. *)
+  let dut = deploy Programs.acl_firewall in
+  let telnet = P.tcp_ipv4 ~src:0xC0A80001L ~dst:0x0A010005L ~dst_port:23L () in
+  expect_drop "telnet denied by priority" "ingress" (run dut telnet)
+
+(* ---------------- mpls_tunnel ---------------- *)
+
+let test_mpls_push_swap_pop_chain () =
+  let dut = deploy Programs.mpls_tunnel in
+  (* ingress edge: plain IPv4 toward 10.2/16 gets label 100 *)
+  let pkt = P.udp_ipv4 ~dst:0x0A020005L () in
+  let port, out1 = expect_forward "push" (run dut pkt) in
+  check_int "push port" 1 port;
+  (match out1.P.headers with
+  | P.Eth e :: P.Mpls m :: P.Ipv4 _ :: _ ->
+      check_i64 "pushed label" 100L m.Mpls.label;
+      check_i64 "ethertype mpls" 0x8847L e.Eth.ethertype
+  | _ -> Alcotest.fail "push output shape");
+  (* transit: label 100 -> 200 *)
+  let port, out2 = expect_forward "swap" (run dut out1) in
+  check_int "swap port" 2 port;
+  (match out2.P.headers with
+  | P.Eth _ :: P.Mpls m :: _ ->
+      check_i64 "swapped label" 200L m.Mpls.label;
+      check_i64 "mpls ttl decremented" 63L m.Mpls.ttl
+  | _ -> Alcotest.fail "swap output shape");
+  (* egress edge: label 200 popped *)
+  let port, out3 = expect_forward "pop" (run dut out2) in
+  check_int "pop port" 3 port;
+  match out3.P.headers with
+  | P.Eth e :: P.Ipv4 ip :: _ ->
+      check_i64 "ethertype back to ipv4" 0x0800L e.Eth.ethertype;
+      check_i64 "inner ttl decremented once at pop" 63L ip.Ipv4.ttl
+  | _ -> Alcotest.fail "pop output shape"
+
+let test_mpls_unknown_label_drops () =
+  let dut = deploy Programs.mpls_tunnel in
+  let pkt =
+    P.fixup
+      (P.make
+         [
+           P.Eth (Eth.make ());
+           P.Mpls (Mpls.make ~label:999L ~bos:1L ());
+           P.Ipv4 (Ipv4.make ~payload_len:0 ());
+         ]
+         ())
+  in
+  expect_drop "unknown label" "ingress" (run dut pkt)
+
+let test_mpls_deep_stack_rejected () =
+  let dut = deploy Programs.mpls_tunnel in
+  let pkt =
+    P.fixup
+      (P.make
+         [
+           P.Eth (Eth.make ());
+           P.Mpls (Mpls.make ~label:100L ~bos:0L ());
+           P.Mpls (Mpls.make ~label:200L ~bos:1L ());
+           P.Ipv4 (Ipv4.make ~payload_len:0 ());
+         ]
+         ())
+  in
+  expect_drop "stack depth 2" "parser:Reject" (run dut pkt)
+
+(* ---------------- vlan_router ---------------- *)
+
+let test_vlan_routing_by_vid () =
+  let dut = deploy Programs.vlan_router in
+  let mk vid =
+    P.fixup
+      (P.make
+         [
+           P.Eth (Eth.make ());
+           P.Vlan (Packet.Vlan.make ~vid ());
+           P.Ipv4 (Ipv4.make ~dst:0x0A000099L ~payload_len:0 ());
+         ]
+         ())
+  in
+  let p10, _ = expect_forward "vid 10" (run dut (mk 10L)) in
+  let p20, _ = expect_forward "vid 20" (run dut (mk 20L)) in
+  check_int "vid 10 -> port 1" 1 p10;
+  check_int "vid 20 -> port 2" 2 p20;
+  (* untagged falls to plain lpm *)
+  let p, _ = expect_forward "untagged" (run dut (P.udp_ipv4 ~dst:0x0A000099L ())) in
+  check_int "untagged -> port 3" 3 p
+
+let test_vlan_unknown_vid_drops () =
+  let dut = deploy Programs.vlan_router in
+  let pkt =
+    P.fixup
+      (P.make
+         [
+           P.Eth (Eth.make ());
+           P.Vlan (Packet.Vlan.make ~vid:99L ());
+           P.Ipv4 (Ipv4.make ~dst:0x0A000099L ~payload_len:0 ());
+         ]
+         ())
+  in
+  expect_drop "vid 99" "ingress" (run dut pkt)
+
+(* ---------------- ipv6_router ---------------- *)
+
+let v6_packet ?(hop = 64L) ~dst_hi () =
+  P.fixup
+    (P.make
+       [
+         P.Eth (Eth.make ~ethertype:0x86DDL ());
+         P.Ipv6 (Packet.Ipv6.make ~hop_limit:hop ~dst:(dst_hi, 1L) ~payload_len:0 ());
+       ]
+       ())
+
+let test_ipv6_routing () =
+  let dut = deploy Programs.ipv6_router in
+  let port_of dst_hi = fst (expect_forward "v6" (run dut (v6_packet ~dst_hi ()))) in
+  check_int "2001:db8::/32" 1 (port_of 0x20010DB8_AAAA_0000L);
+  check_int "2001:db8:1::/48 wins" 2 (port_of 0x20010DB8_0001_BBBBL);
+  check_int "fc00::/7 (ULA)" 3 (port_of 0xFD00_0000_0000_0000L);
+  expect_drop "unrouted" "ingress" (run dut (v6_packet ~dst_hi:0x2600_0000_0000_0000L ()))
+
+let test_ipv6_hop_limit () =
+  let dut = deploy Programs.ipv6_router in
+  let _, out = expect_forward "hop" (run dut (v6_packet ~dst_hi:0x20010DB8_0000_0000L ())) in
+  (match
+     List.find_opt (function P.Ipv6 _ -> true | _ -> false) out.P.headers
+   with
+  | Some (P.Ipv6 h) -> check_i64 "hop limit decremented" 63L h.Packet.Ipv6.hop_limit
+  | _ -> Alcotest.fail "no ipv6 header");
+  expect_drop "hop 1" "ingress" (run dut (v6_packet ~hop:1L ~dst_hi:0x20010DB8_0000_0000L ()))
+
+let test_ipv6_rejects_v4 () =
+  let dut = deploy Programs.ipv6_router in
+  expect_drop "v4 frame" "parser:Reject" (run dut (P.udp_ipv4 ()))
+
+(* ---------------- calc ---------------- *)
+
+let calc_packet ~op ~a ~b =
+  let w = Bitstring.Writer.create () in
+  Bitstring.Writer.push_bits w
+    (Eth.to_bits (Eth.make ~dst:0x020000000002L ~src:0x020000000001L ~ethertype:0x1234L ()));
+  Bitstring.Writer.push_int64 w ~width:8 op;
+  Bitstring.Writer.push_int64 w ~width:32 a;
+  Bitstring.Writer.push_int64 w ~width:32 b;
+  Bitstring.Writer.push_int64 w ~width:32 0L;
+  Bitstring.Writer.contents w
+
+let run_calc ~op ~a ~b =
+  let program, rt = deploy Programs.calc in
+  match
+    (Interp.process program rt ~ingress_port:2 (calc_packet ~op ~a ~b)).Interp.result
+  with
+  | Interp.Forwarded (port, bits) ->
+      check_int "reflected to ingress port" 2 port;
+      (* result field sits after 112 bits of eth + 8 + 32 + 32 *)
+      Bitstring.extract bits ~off:(112 + 72) ~width:32
+  | Interp.Dropped r -> Alcotest.failf "calc dropped: %s" r
+
+let test_calc_operations () =
+  check_i64 "add" 30L (run_calc ~op:1L ~a:10L ~b:20L);
+  check_i64 "sub" 5L (run_calc ~op:2L ~a:25L ~b:20L);
+  check_i64 "and" 0x10L (run_calc ~op:3L ~a:0x30L ~b:0x11L);
+  check_i64 "or" 0x31L (run_calc ~op:4L ~a:0x30L ~b:0x11L);
+  check_i64 "xor" 0x21L (run_calc ~op:5L ~a:0x30L ~b:0x11L);
+  check_i64 "unknown op gives 0" 0L (run_calc ~op:77L ~a:1L ~b:2L);
+  check_i64 "add wraps at 32 bits" 0L (run_calc ~op:1L ~a:0xFFFFFFFFL ~b:1L)
+
+let test_calc_swaps_macs () =
+  let program, rt = deploy Programs.calc in
+  match
+    (Interp.process program rt ~ingress_port:0 (calc_packet ~op:1L ~a:1L ~b:2L)).Interp.result
+  with
+  | Interp.Forwarded (_, bits) ->
+      check_i64 "dst is old src" 0x020000000001L (Bitstring.extract bits ~off:0 ~width:48);
+      check_i64 "src is old dst" 0x020000000002L (Bitstring.extract bits ~off:48 ~width:48)
+  | Interp.Dropped r -> Alcotest.failf "dropped: %s" r
+
+(* ---------------- misc semantics ---------------- *)
+
+let test_parser_loop_protection () =
+  let program =
+    {
+      Programs.reflector.Programs.program with
+      Ast.p_name = "looper";
+      p_parser = [ Dsl.state "start" (Dsl.goto "start") ];
+    }
+  in
+  let rt = Runtime.create () in
+  let obs = Interp.process program rt ~ingress_port:0 (P.serialize (P.udp_ipv4 ())) in
+  expect_drop "infinite parser" "parser:PacketTooShort" obs
+
+let test_failed_assert_reported () =
+  let program =
+    {
+      Programs.reflector.Programs.program with
+      Ast.p_name = "asserter";
+      p_ingress =
+        [
+          Dsl.assert_ Dsl.(fld "eth" "ethertype" ==: const ~width:16 0x9999) "never holds";
+          Dsl.set_std Ast.Egress_spec (Dsl.std Ast.Ingress_port);
+        ];
+    }
+  in
+  let rt = Runtime.create () in
+  let obs = Interp.process program rt ~ingress_port:0 (P.serialize (P.udp_ipv4 ())) in
+  Alcotest.(check (list string)) "assert failure surfaced" [ "never holds" ]
+    obs.Interp.failed_asserts
+
+let test_default_egress_is_port_zero () =
+  let program =
+    { Programs.reflector.Programs.program with Ast.p_name = "silent"; p_ingress = [] }
+  in
+  let rt = Runtime.create () in
+  match (Interp.process program rt ~ingress_port:3 (P.serialize (P.udp_ipv4 ()))).Interp.result with
+  | Interp.Forwarded (0, _) -> ()
+  | Interp.Forwarded (p, _) -> Alcotest.failf "went to %d" p
+  | Interp.Dropped r -> Alcotest.failf "dropped: %s" r
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "basic_router",
+        [
+          Alcotest.test_case "forwards and rewrites" `Quick test_router_forwards_and_rewrites;
+          Alcotest.test_case "longest prefix" `Quick test_router_longest_prefix;
+          Alcotest.test_case "table miss drops" `Quick test_router_table_miss_drops;
+          Alcotest.test_case "rejects non-ipv4" `Quick test_router_rejects_non_ipv4;
+          Alcotest.test_case "rejects bad version" `Quick test_router_rejects_bad_version;
+          Alcotest.test_case "rejects bad checksum" `Quick test_router_rejects_bad_checksum;
+          Alcotest.test_case "drops expiring ttl" `Quick test_router_drops_expiring_ttl;
+          Alcotest.test_case "rejects truncated ipv4" `Quick test_router_rejects_truncated_ipv4;
+          Alcotest.test_case "counters" `Quick test_router_counters;
+          Alcotest.test_case "table trace" `Quick test_router_tables_trace;
+        ] );
+      ( "router_split",
+        [
+          Alcotest.test_case "equivalent on samples" `Quick test_split_router_equivalent;
+          QCheck_alcotest.to_alcotest prop_split_router_equivalent;
+        ] );
+      ( "buggy_router",
+        [ Alcotest.test_case "ttl bug present" `Quick test_buggy_router_skips_ttl_decrement ] );
+      ( "parser_guard",
+        [
+          Alcotest.test_case "default route" `Quick test_parser_guard_default_route;
+          Alcotest.test_case "punts arp" `Quick test_parser_guard_punts_arp;
+          Alcotest.test_case "rejects unknown ethertype" `Quick
+            test_parser_guard_rejects_unknown_ethertype;
+        ] );
+      ( "l2_switch",
+        [
+          Alcotest.test_case "forwarding" `Quick test_l2_forwarding;
+          Alcotest.test_case "unknown dst drops" `Quick test_l2_unknown_dst_drops;
+          Alcotest.test_case "smac tracking" `Quick test_l2_smac_tracking;
+        ] );
+      ( "acl_firewall",
+        [
+          Alcotest.test_case "denies telnet" `Quick test_acl_denies_telnet;
+          Alcotest.test_case "permits web to dmz" `Quick test_acl_permits_web_to_dmz;
+          Alcotest.test_case "permits internal udp" `Quick test_acl_permits_internal_udp;
+          Alcotest.test_case "default deny" `Quick test_acl_default_deny;
+          Alcotest.test_case "priority order" `Quick test_acl_priority_order;
+        ] );
+      ( "mpls_tunnel",
+        [
+          Alcotest.test_case "push/swap/pop chain" `Quick test_mpls_push_swap_pop_chain;
+          Alcotest.test_case "unknown label drops" `Quick test_mpls_unknown_label_drops;
+          Alcotest.test_case "deep stack rejected" `Quick test_mpls_deep_stack_rejected;
+        ] );
+      ( "vlan_router",
+        [
+          Alcotest.test_case "routing by vid" `Quick test_vlan_routing_by_vid;
+          Alcotest.test_case "unknown vid drops" `Quick test_vlan_unknown_vid_drops;
+        ] );
+      ( "ipv6_router",
+        [
+          Alcotest.test_case "routing by hi bits" `Quick test_ipv6_routing;
+          Alcotest.test_case "hop limit" `Quick test_ipv6_hop_limit;
+          Alcotest.test_case "rejects v4" `Quick test_ipv6_rejects_v4;
+        ] );
+      ( "calc",
+        [
+          Alcotest.test_case "operations" `Quick test_calc_operations;
+          Alcotest.test_case "mac swap" `Quick test_calc_swaps_macs;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "parser loop protection" `Quick test_parser_loop_protection;
+          Alcotest.test_case "failed assert reported" `Quick test_failed_assert_reported;
+          Alcotest.test_case "default egress port" `Quick test_default_egress_is_port_zero;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Tests for the external-tester baseline, including the visibility
+   asymmetries that drive Figure 2. *)
+
+module Programs = P4ir.Programs
+module Runtime = P4ir.Runtime
+module Device = Target.Device
+module Fault = Target.Fault
+module Config = Target.Config
+module Quirks = Sdnet.Quirks
+module Compile = Sdnet.Compile
+module Tester = Osnt.Tester
+module P = Packet
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let build ?(quirks = Quirks.none) (b : Programs.bundle) =
+  let report = Compile.compile_exn ~quirks b.Programs.program in
+  let d = Device.create report.Sdnet.Compile.pipeline in
+  (match Runtime.install_all b.Programs.program (Device.runtime d) b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  d
+
+let test_send_and_observe () =
+  let d = build Programs.basic_router in
+  let t = Tester.attach d in
+  match Tester.send_and_observe t ~port:0 (P.serialize (P.udp_ipv4 ~dst:0x0A000005L ())) with
+  | [ (port, _) ] -> check_int "routed externally" 1 port
+  | outs -> Alcotest.failf "expected one packet, saw %d" (List.length outs)
+
+let test_rejects_bad_port () =
+  let d = build Programs.basic_router in
+  let t = Tester.attach d in
+  try
+    ignore (Tester.send_and_observe t ~port:9 (P.serialize (P.udp_ipv4 ())));
+    Alcotest.fail "accepted non-physical port"
+  with Invalid_argument _ -> ()
+
+let test_functional_cases () =
+  let d = build Programs.basic_router in
+  let t = Tester.attach d in
+  let routed = P.udp_ipv4 ~dst:0x0A010005L () in
+  let expected_bits =
+    (* the tester's expectation comes from running the spec offline *)
+    match
+      P4ir.Interp.forward Programs.basic_router.Programs.program (Device.runtime d)
+        ~ingress_port:0 (P.serialize routed)
+    with
+    | Some (_, bits) -> bits
+    | None -> Alcotest.fail "spec forwards this"
+  in
+  let cases =
+    [
+      {
+        Tester.c_name = "routed to 10.1/16";
+        c_port = 0;
+        c_packet = P.serialize routed;
+        c_expect = Some (2, expected_bits);
+      };
+      {
+        Tester.c_name = "miss dropped";
+        c_port = 0;
+        c_packet = P.serialize (P.udp_ipv4 ~dst:0x08080808L ());
+        c_expect = None;
+      };
+    ]
+  in
+  List.iter
+    (fun r -> check_bool r.Tester.r_name true r.Tester.r_pass)
+    (Tester.run_cases t cases)
+
+let test_cannot_distinguish_drop_reasons () =
+  (* a parser reject, an ACL drop and an injected hardware fault all look
+     identical from outside: silence *)
+  let silent_outcomes =
+    [
+      (build Programs.basic_router, P.serialize (P.arp_request ()));
+      (build Programs.basic_router, P.serialize (P.udp_ipv4 ~dst:0x08080808L ()));
+      (let d = build Programs.basic_router in
+       Device.inject_fault d ~stage:"ma:ipv4_lpm" Fault.Drop_at_stage;
+       (d, P.serialize (P.udp_ipv4 ~dst:0x0A000005L ())));
+    ]
+  in
+  let observations =
+    List.map
+      (fun (d, pkt) ->
+        let t = Tester.attach d in
+        Tester.send_and_observe t ~port:0 pkt)
+      silent_outcomes
+  in
+  List.iter (fun outs -> check_int "silence" 0 (List.length outs)) observations
+
+let test_blind_to_nonphysical_ports () =
+  (* parser_guard punts ARP to CPU port 63: NetDebug's check point sees it
+     (proved in test_target), the external tester sees nothing *)
+  let d = build Programs.parser_guard in
+  let t = Tester.attach d in
+  let outs = Tester.send_and_observe t ~port:0 (P.serialize (P.arp_request ())) in
+  check_int "invisible punt" 0 (List.length outs)
+
+let test_load_clamped_to_interface_rate () =
+  let d = build Programs.basic_router in
+  let t = Tester.attach d in
+  let probe = P.serialize (P.udp_ipv4 ~dst:0x0A000005L ~payload_bytes:1000 ()) in
+  let perf = Tester.load_test t ~port:0 ~packets:500 ~offered_gbps:40.0 probe in
+  (* SUME model: 4 ports sharing 51.2G -> 12.8G per interface *)
+  Alcotest.(check (float 0.01))
+    "clamped" (Tester.port_rate_gbps t) perf.Tester.p_offered_gbps;
+  check_bool "achieves interface rate" true
+    (perf.Tester.p_achieved_gbps >= 0.9 *. perf.Tester.p_offered_gbps)
+
+let test_load_test_receives () =
+  let d = build Programs.basic_router in
+  let t = Tester.attach d in
+  let probe = P.serialize (P.udp_ipv4 ~dst:0x0A000005L ()) in
+  let perf = Tester.load_test t ~port:0 ~packets:200 ~offered_gbps:1.0 probe in
+  check_int "nothing lost at 1G" 200 perf.Tester.p_received;
+  check_bool "latency measured" true (perf.Tester.p_lat_p50_ns > 0.0)
+
+let () =
+  Alcotest.run "osnt"
+    [
+      ( "tester",
+        [
+          Alcotest.test_case "send and observe" `Quick test_send_and_observe;
+          Alcotest.test_case "rejects bad port" `Quick test_rejects_bad_port;
+          Alcotest.test_case "functional cases" `Quick test_functional_cases;
+          Alcotest.test_case "cannot distinguish drops" `Quick
+            test_cannot_distinguish_drop_reasons;
+          Alcotest.test_case "blind to non-physical ports" `Quick
+            test_blind_to_nonphysical_ports;
+          Alcotest.test_case "load clamped to interface" `Quick
+            test_load_clamped_to_interface_rate;
+          Alcotest.test_case "load test receives" `Quick test_load_test_receives;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for the SDNet-style compiler: structure, limits, and the quirk
+   model's semantic effects on the compiled device. *)
+
+module Ast = P4ir.Ast
+module Parse = P4ir.Parse
+module Exec = P4ir.Exec
+module Runtime = P4ir.Runtime
+module Programs = P4ir.Programs
+module Dsl = P4ir.Dsl
+module Value = P4ir.Value
+module P = Packet
+module Ipv4 = Packet.Ipv4
+module Eth = Packet.Eth
+module Config = Target.Config
+module Device = Target.Device
+module Pipeline = Target.Pipeline
+module Quirks = Sdnet.Quirks
+module Compile = Sdnet.Compile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- structure ---------------- *)
+
+let test_all_programs_compile () =
+  List.iter
+    (fun (b : Programs.bundle) ->
+      match Compile.compile b.Programs.program with
+      | Ok _ -> ()
+      | Error errs ->
+          Alcotest.failf "%s: %s" b.Programs.program.Ast.p_name
+            (String.concat "; " (List.map (Format.asprintf "%a" Compile.pp_error) errs)))
+    Programs.all
+
+let test_stage_structure () =
+  let r = Compile.compile_exn Programs.basic_router.Programs.program in
+  Alcotest.(check (list string))
+    "stage order"
+    [ "parser"; "ma:ipv4_lpm"; "egress"; "deparser" ]
+    (Pipeline.stage_names r.Compile.pipeline)
+
+let test_stage_structure_multi_table () =
+  let r = Compile.compile_exn Programs.acl_firewall.Programs.program in
+  Alcotest.(check (list string))
+    "one MA stage per table"
+    [ "parser"; "ma:acl"; "ma:ipv4_lpm"; "egress"; "deparser" ]
+    (Pipeline.stage_names r.Compile.pipeline)
+
+let test_resources_grow_with_table_size () =
+  let prog size =
+    let b = Programs.basic_router.Programs.program in
+    {
+      b with
+      Ast.p_tables =
+        List.map (fun (t : Ast.table) -> { t with Ast.t_size = size }) b.Ast.p_tables;
+    }
+  in
+  let brams size =
+    (Compile.compile_exn (prog size)).Compile.pipeline.Pipeline.resources.Target.Resource.brams
+  in
+  check_bool "8k entries need more brams than 1k" true (brams 8192 > brams 1024)
+
+let test_ternary_uses_tcam () =
+  let r = Compile.compile_exn Programs.acl_firewall.Programs.program in
+  check_bool "tcam consumed" true
+    (r.Compile.pipeline.Pipeline.resources.Target.Resource.tcam_bits > 0)
+
+let test_typecheck_failure_propagates () =
+  let bad =
+    {
+      Programs.reflector.Programs.program with
+      Ast.p_ingress = [ Ast.Apply "no_such_table" ];
+    }
+  in
+  match Compile.compile bad with
+  | Ok _ -> Alcotest.fail "compiled an ill-typed program"
+  | Error _ -> ()
+
+(* ---------------- architecture limits ---------------- *)
+
+let test_limit_table_capacity () =
+  match
+    Compile.compile ~config:Config.small_target Programs.basic_router.Programs.program
+  with
+  | Ok _ -> Alcotest.fail "1024-entry table fits a 16-entry target?"
+  | Error errs ->
+      check_bool "mentions size" true
+        (List.exists
+           (fun (e : Compile.error) ->
+             e.Compile.e_where = "table ipv4_lpm")
+           errs)
+
+let test_limit_key_width () =
+  match
+    Compile.compile ~config:Config.small_target Programs.acl_firewall.Programs.program
+  with
+  | Ok _ -> Alcotest.fail "88-bit key fits a 64-bit-key target?"
+  | Error errs ->
+      check_bool "key width error" true
+        (List.exists
+           (fun (e : Compile.error) ->
+             String.length e.Compile.e_msg >= 9 && String.sub e.Compile.e_msg 0 9 = "key width")
+           errs)
+
+let test_limit_parser_states () =
+  let many_states =
+    List.init 40 (fun i ->
+        Dsl.state
+          (if i = 0 then "start" else Printf.sprintf "s%d" i)
+          (if i = 39 then Dsl.accept else Dsl.goto (Printf.sprintf "s%d" (i + 1))))
+  in
+  let prog = { Programs.reflector.Programs.program with Ast.p_parser = many_states } in
+  match Compile.compile prog with
+  | Ok _ -> Alcotest.fail "40 states fit a 32-state target?"
+  | Error errs ->
+      check_bool "parser error" true
+        (List.exists (fun (e : Compile.error) -> e.Compile.e_where = "parser") errs)
+
+let test_limit_table_count () =
+  let mk_table i =
+    Dsl.table
+      (Printf.sprintf "t%d" i)
+      [ (Dsl.fld "eth" "dst", Ast.Exact) ]
+      [ "noop" ] ~default:"noop" ()
+  in
+  let prog =
+    {
+      Programs.reflector.Programs.program with
+      Ast.p_actions = [ Dsl.action "noop" [] [] ];
+      p_tables = List.init 20 mk_table;
+      p_ingress = List.init 20 (fun i -> Ast.Apply (Printf.sprintf "t%d" i));
+    }
+  in
+  match Compile.compile prog with
+  | Ok _ -> Alcotest.fail "20 tables fit a 16-table target?"
+  | Error errs ->
+      check_bool "table count error" true
+        (List.exists (fun (e : Compile.error) -> e.Compile.e_where = "pipeline") errs)
+
+(* ---------------- quirk semantics on the device ---------------- *)
+
+let deploy ?(quirks = Quirks.none) (b : Programs.bundle) =
+  let report = Compile.compile_exn ~quirks b.Programs.program in
+  let d = Device.create report.Compile.pipeline in
+  (match Runtime.install_all b.Programs.program (Device.runtime d) b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  d
+
+let test_default_quirks_include_reject_bug () =
+  check_bool "shipped toolchain has the bug" true
+    (Quirks.has_reject_unimplemented Quirks.default)
+
+let test_reject_quirk_forwards_rejected_packets () =
+  (* the paper's case study: with the quirk, a packet the parser rejects is
+     "sent out to the next hop" instead of dropped *)
+  let bad_ethertype =
+    P.serialize
+      (P.make [ P.Eth (Eth.make ~ethertype:0xBEEFL ()) ]
+         ~payload:(P.payload_of_string "boo") ())
+  in
+  let faithful = deploy Programs.parser_guard in
+  (match snd (Device.inject faithful ~source:(Device.External 0) bad_ethertype) with
+  | Device.Dropped_pipeline "parser:Reject" -> ()
+  | _ -> Alcotest.fail "faithful compiler must drop");
+  let buggy = deploy ~quirks:Quirks.default Programs.parser_guard in
+  match snd (Device.inject buggy ~source:(Device.External 0) bad_ethertype) with
+  | Device.Emitted out ->
+      check_int "sent to the next hop (port 0 default)" 0 out.Device.o_port
+  | _ -> Alcotest.fail "quirky compiler must forward"
+
+let test_ternary_quirk_changes_acl () =
+  (* ACL entry: permit UDP inside 10/8 (masked). Degraded to exact, the
+     masked source no longer matches a real address *)
+  let pkt = P.serialize (P.udp_ipv4 ~src:0x0A000001L ~dst:0x0A000002L ()) in
+  let faithful = deploy Programs.acl_firewall in
+  (match snd (Device.inject faithful ~source:(Device.External 0) pkt) with
+  | Device.Emitted _ -> ()
+  | _ -> Alcotest.fail "faithful: permitted");
+  let buggy = deploy ~quirks:[ Quirks.Ternary_as_exact ] Programs.acl_firewall in
+  match snd (Device.inject buggy ~source:(Device.External 0) pkt) with
+  | Device.Dropped_pipeline "ingress" -> ()
+  | _ -> Alcotest.fail "degraded ternary should miss and deny"
+
+let test_egress_drop_quirk () =
+  let program =
+    {
+      Programs.reflector.Programs.program with
+      Ast.p_name = "egress_dropper";
+      p_egress = [ Ast.MarkToDrop ];
+    }
+  in
+  let bundle = { Programs.reflector with Programs.program } in
+  let pkt = P.serialize (P.udp_ipv4 ()) in
+  let faithful = deploy bundle in
+  (match snd (Device.inject faithful ~source:(Device.External 0) pkt) with
+  | Device.Dropped_pipeline "egress" -> ()
+  | _ -> Alcotest.fail "faithful: egress drop works");
+  let buggy = deploy ~quirks:[ Quirks.Egress_drop_ignored ] bundle in
+  match snd (Device.inject buggy ~source:(Device.External 0) pkt) with
+  | Device.Emitted _ -> ()
+  | _ -> Alcotest.fail "quirk: egress drop ignored"
+
+let test_checksum_quirk () =
+  let corrupted =
+    P.serialize
+      (P.map_ipv4 (fun ip -> { ip with Ipv4.checksum = 0xBADL }) (P.udp_ipv4 ~dst:0x0A000001L ()))
+  in
+  let faithful = deploy Programs.basic_router in
+  (match snd (Device.inject faithful ~source:(Device.External 0) corrupted) with
+  | Device.Dropped_pipeline "parser:ChecksumError" -> ()
+  | _ -> Alcotest.fail "faithful: checksum verified");
+  let buggy = deploy ~quirks:[ Quirks.Checksum_not_handled ] Programs.basic_router in
+  match snd (Device.inject buggy ~source:(Device.External 0) corrupted) with
+  | Device.Emitted out ->
+      (* and the TTL-decrement update is also skipped: checksum now stale *)
+      (match P.find_ipv4 (P.parse out.Device.o_bits) with
+      | Some ip -> check_bool "stale checksum leaves device" false (Ipv4.checksum_ok ip)
+      | None -> Alcotest.fail "no ipv4")
+  | _ -> Alcotest.fail "quirk: checksum ignored, packet forwarded"
+
+let test_select_truncation_quirk () =
+  (* mpls_tunnel's start state has two select cases: [mpls; ipv4]. With
+     truncation to 1 case, plain IPv4 falls through to the default
+     (reject) even though the program says parse it *)
+  let pkt = P.serialize (P.udp_ipv4 ~dst:0x0A020001L ()) in
+  let faithful = deploy Programs.mpls_tunnel in
+  (match snd (Device.inject faithful ~source:(Device.External 0) pkt) with
+  | Device.Emitted _ -> ()
+  | _ -> Alcotest.fail "faithful: ipv4 parsed and tunneled");
+  let buggy = deploy ~quirks:[ Quirks.Select_cases_truncated 1 ] Programs.mpls_tunnel in
+  match snd (Device.inject buggy ~source:(Device.External 0) pkt) with
+  | Device.Dropped_pipeline "parser:Reject" -> ()
+  | _ -> Alcotest.fail "truncated select should reject ipv4"
+
+let test_shift_truncation_quirk () =
+  (* dst << 48 on a 48-bit field: spec shifts everything out (0); a 5-bit
+     barrel shifter computes dst << (48 mod 32 = 16) *)
+  let program =
+    {
+      Programs.reflector.Programs.program with
+      Ast.p_name = "shifter";
+      p_ingress =
+        [
+          Dsl.set_field "eth" "dst"
+            (Ast.Bin (Ast.Shl, Dsl.fld "eth" "dst", Dsl.const ~width:8 48));
+          Dsl.set_std Ast.Egress_spec (Dsl.const ~width:9 0);
+        ];
+    }
+  in
+  let bundle = { Programs.reflector with Programs.program } in
+  let pkt = P.serialize (P.udp_ipv4 ~eth_dst:0x0000DEADBEEFL ()) in
+  let get_dst d =
+    match snd (Device.inject d ~source:(Device.External 0) pkt) with
+    | Device.Emitted out -> Bitutil.Bitstring.extract out.Device.o_bits ~off:0 ~width:48
+    | _ -> Alcotest.fail "not emitted"
+  in
+  Alcotest.(check int64) "spec: shifted to zero" 0L (get_dst (deploy bundle));
+  Alcotest.(check int64) "quirk: shifted by 16 instead" 0xDEADBEEF0000L
+    (get_dst (deploy ~quirks:[ Quirks.Shift_width_truncated 5 ] bundle))
+
+let test_quirk_names_unique () =
+  let names = List.map Quirks.name Quirks.all in
+  check_int "no duplicate names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let () =
+  Alcotest.run "sdnet"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "all programs compile" `Quick test_all_programs_compile;
+          Alcotest.test_case "stage structure" `Quick test_stage_structure;
+          Alcotest.test_case "multi-table stages" `Quick test_stage_structure_multi_table;
+          Alcotest.test_case "resources grow with size" `Quick
+            test_resources_grow_with_table_size;
+          Alcotest.test_case "ternary uses tcam" `Quick test_ternary_uses_tcam;
+          Alcotest.test_case "typecheck failure propagates" `Quick
+            test_typecheck_failure_propagates;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "table capacity" `Quick test_limit_table_capacity;
+          Alcotest.test_case "key width" `Quick test_limit_key_width;
+          Alcotest.test_case "parser states" `Quick test_limit_parser_states;
+          Alcotest.test_case "table count" `Quick test_limit_table_count;
+        ] );
+      ( "quirks",
+        [
+          Alcotest.test_case "default includes reject bug" `Quick
+            test_default_quirks_include_reject_bug;
+          Alcotest.test_case "reject quirk (paper case study)" `Quick
+            test_reject_quirk_forwards_rejected_packets;
+          Alcotest.test_case "ternary-as-exact" `Quick test_ternary_quirk_changes_acl;
+          Alcotest.test_case "egress drop ignored" `Quick test_egress_drop_quirk;
+          Alcotest.test_case "checksum not handled" `Quick test_checksum_quirk;
+          Alcotest.test_case "select truncation" `Quick test_select_truncation_quirk;
+          Alcotest.test_case "shift truncation" `Quick test_shift_truncation_quirk;
+          Alcotest.test_case "quirk names unique" `Quick test_quirk_names_unique;
+        ] );
+    ]

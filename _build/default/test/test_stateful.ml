@@ -1,0 +1,398 @@
+(* Tests for stateful registers: the Regstate store, the rate_limiter and
+   kv_cache programs on both executors, and persistence semantics. *)
+
+module Ast = P4ir.Ast
+module Value = P4ir.Value
+module Regstate = P4ir.Regstate
+module Interp = P4ir.Interp
+module Runtime = P4ir.Runtime
+module Programs = P4ir.Programs
+module Device = Target.Device
+module Quirks = Sdnet.Quirks
+module Compile = Sdnet.Compile
+module Bitstring = Bitutil.Bitstring
+module P = Packet
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Regstate ---------------- *)
+
+let reg_program =
+  {
+    Programs.reflector.Programs.program with
+    Ast.p_name = "regtest";
+    p_registers = [ { Ast.r_name = "r"; r_width = 16; r_size = 4 } ];
+  }
+
+let test_regstate_read_write () =
+  let rs = Regstate.create reg_program in
+  check_i64 "initially zero" 0L (Value.to_int64 (Regstate.read rs "r" 2));
+  Regstate.write rs "r" 2 (Value.of_int ~width:16 0xABCD);
+  check_i64 "written" 0xABCDL (Value.to_int64 (Regstate.read rs "r" 2));
+  check_i64 "others untouched" 0L (Value.to_int64 (Regstate.read rs "r" 1))
+
+let test_regstate_bounds () =
+  let rs = Regstate.create reg_program in
+  (* out-of-range: read zero, write ignored — no exception *)
+  check_i64 "oob read" 0L (Value.to_int64 (Regstate.read rs "r" 99));
+  Regstate.write rs "r" 99 (Value.of_int ~width:16 1);
+  check_i64 "oob write ignored" 0L (Value.to_int64 (Regstate.read rs "r" 99))
+
+let test_regstate_width_truncation () =
+  let rs = Regstate.create reg_program in
+  Regstate.write rs "r" 0 (Value.make ~width:32 0xFFFF_FFFFL);
+  check_i64 "truncated to 16 bits" 0xFFFFL (Value.to_int64 (Regstate.read rs "r" 0))
+
+let test_regstate_undeclared () =
+  let rs = Regstate.create reg_program in
+  try
+    ignore (Regstate.read rs "ghost" 0);
+    Alcotest.fail "accepted undeclared register"
+  with Invalid_argument _ -> ()
+
+let test_regstate_reset () =
+  let rs = Regstate.create reg_program in
+  Regstate.write rs "r" 1 (Value.of_int ~width:16 7);
+  Regstate.reset rs;
+  check_i64 "reset" 0L (Value.to_int64 (Regstate.read rs "r" 1))
+
+(* ---------------- rate_limiter ---------------- *)
+
+let deploy_device ?(quirks = Quirks.none) (b : Programs.bundle) =
+  let report = Compile.compile_exn ~quirks b.Programs.program in
+  let d = Device.create report.Compile.pipeline in
+  (match Runtime.install_all b.Programs.program (Device.runtime d) b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  d
+
+let routed = P.serialize (P.udp_ipv4 ~dst:0x0A000005L ())
+
+let test_rate_limiter_budget () =
+  (* port 0 has a budget of 3 packets *)
+  let d = deploy_device Programs.rate_limiter in
+  let outcomes =
+    List.init 6 (fun _ ->
+        match snd (Device.inject d ~source:(Device.External 0) routed) with
+        | Device.Emitted _ -> `Fwd
+        | Device.Dropped_pipeline _ -> `Drop
+        | _ -> `Other)
+  in
+  Alcotest.(check (list (of_pp Fmt.nop)))
+    "first 3 pass, rest drop"
+    [ `Fwd; `Fwd; `Fwd; `Drop; `Drop; `Drop ]
+    outcomes
+
+let test_rate_limiter_per_port_isolation () =
+  let d = deploy_device Programs.rate_limiter in
+  (* exhaust port 0's budget *)
+  for _ = 1 to 5 do
+    ignore (Device.inject d ~source:(Device.External 0) routed)
+  done;
+  (* port 1 has the default (unlimited) policy *)
+  match snd (Device.inject d ~source:(Device.External 1) routed) with
+  | Device.Emitted _ -> ()
+  | _ -> Alcotest.fail "port 1 should be unaffected"
+
+let test_rate_limiter_register_visible () =
+  let d = deploy_device Programs.rate_limiter in
+  for _ = 1 to 2 do
+    ignore (Device.inject d ~source:(Device.External 0) routed)
+  done;
+  let counts = Regstate.dump (Device.registers d) "port_counts" in
+  check_i64 "register holds the count" 2L (Value.to_int64 counts.(0))
+
+let test_rate_limiter_interp_stateless_vs_stateful () =
+  let b = Programs.rate_limiter in
+  let rt = Runtime.create () in
+  (match Runtime.install_all b.Programs.program rt b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* stateless spec: every call starts at count 0, so nothing is limited *)
+  for _ = 1 to 5 do
+    match (Interp.process b.Programs.program rt ~ingress_port:0 routed).Interp.result with
+    | Interp.Forwarded _ -> ()
+    | Interp.Dropped r -> Alcotest.failf "stateless run dropped: %s" r
+  done;
+  (* threaded registers reproduce the device behaviour *)
+  let regs = Regstate.create b.Programs.program in
+  let outcomes =
+    List.init 5 (fun _ ->
+        match
+          (Interp.process ~regs b.Programs.program rt ~ingress_port:0 routed).Interp.result
+        with
+        | Interp.Forwarded _ -> `Fwd
+        | Interp.Dropped _ -> `Drop)
+  in
+  Alcotest.(check (list (of_pp Fmt.nop)))
+    "stateful spec limits after 3"
+    [ `Fwd; `Fwd; `Fwd; `Drop; `Drop ]
+    outcomes
+
+(* ---------------- kv_cache ---------------- *)
+
+let kv_packet ~op ~key ~value =
+  let w = Bitstring.Writer.create () in
+  Bitstring.Writer.push_bits w
+    (P.Eth.to_bits
+       (P.Eth.make ~dst:0x020000000002L ~src:0x020000000001L ~ethertype:0x1235L ()));
+  Bitstring.Writer.push_int64 w ~width:8 op;
+  Bitstring.Writer.push_int64 w ~width:16 key;
+  Bitstring.Writer.push_int64 w ~width:32 value;
+  Bitstring.Writer.push_int64 w ~width:8 0L;
+  Bitstring.Writer.contents w
+
+(* kvh sits after 112 bits of eth: op@112, key@120, value@136, status@168 *)
+let kv_value bits = Bitstring.extract bits ~off:136 ~width:32
+let kv_status bits = Bitstring.extract bits ~off:168 ~width:8
+
+let send d ~port pkt =
+  match snd (Device.inject d ~source:(Device.External port) pkt) with
+  | Device.Emitted out -> out
+  | _ -> Alcotest.fail "kv packet dropped"
+
+let test_kv_get_miss_then_put_then_hit () =
+  let d = deploy_device Programs.kv_cache in
+  (* GET before PUT: miss *)
+  let out = send d ~port:2 (kv_packet ~op:1L ~key:42L ~value:0L) in
+  check_i64 "miss status" 0L (kv_status out.Device.o_bits);
+  check_int "reflected to requester" 2 out.Device.o_port;
+  (* PUT *)
+  let out = send d ~port:2 (kv_packet ~op:2L ~key:42L ~value:0xCAFEL) in
+  check_i64 "put acked" 1L (kv_status out.Device.o_bits);
+  (* GET after PUT: hit with the stored value *)
+  let out = send d ~port:3 (kv_packet ~op:1L ~key:42L ~value:0L) in
+  check_i64 "hit status" 1L (kv_status out.Device.o_bits);
+  check_i64 "cached value" 0xCAFEL (kv_value out.Device.o_bits)
+
+let test_kv_key_isolation () =
+  let d = deploy_device Programs.kv_cache in
+  ignore (send d ~port:0 (kv_packet ~op:2L ~key:1L ~value:111L));
+  ignore (send d ~port:0 (kv_packet ~op:2L ~key:2L ~value:222L));
+  let out = send d ~port:0 (kv_packet ~op:1L ~key:1L ~value:0L) in
+  check_i64 "key 1 kept its value" 111L (kv_value out.Device.o_bits)
+
+let test_kv_index_aliasing () =
+  (* the cache indexes by the low 8 key bits: keys 5 and 261 collide, the
+     later PUT wins — documented cache behaviour *)
+  let d = deploy_device Programs.kv_cache in
+  ignore (send d ~port:0 (kv_packet ~op:2L ~key:5L ~value:555L));
+  ignore (send d ~port:0 (kv_packet ~op:2L ~key:261L ~value:999L));
+  let out = send d ~port:0 (kv_packet ~op:1L ~key:5L ~value:0L) in
+  check_i64 "collision overwrote" 999L (kv_value out.Device.o_bits)
+
+let test_kv_unknown_op () =
+  let d = deploy_device Programs.kv_cache in
+  let out = send d ~port:0 (kv_packet ~op:9L ~key:1L ~value:0L) in
+  check_i64 "error status" 0xFFL (kv_status out.Device.o_bits)
+
+let test_kv_counters () =
+  let d = deploy_device Programs.kv_cache in
+  ignore (send d ~port:0 (kv_packet ~op:1L ~key:9L ~value:0L));
+  ignore (send d ~port:0 (kv_packet ~op:2L ~key:9L ~value:1L));
+  ignore (send d ~port:0 (kv_packet ~op:1L ~key:9L ~value:0L));
+  let c = Device.counters d in
+  check_i64 "one miss" 1L (Stats.Counter.Set.get c "prog/cache_miss");
+  check_i64 "one put" 1L (Stats.Counter.Set.get c "prog/cache_put");
+  check_i64 "one hit" 1L (Stats.Counter.Set.get c "prog/cache_hit")
+
+(* ---------------- heavy_hitter (textual-only program) ---------------- *)
+
+let load_heavy_hitter () =
+  match P4front.Front.parse_file "heavy_hitter.p4" with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "heavy_hitter.p4: %a" P4front.Front.pp_error e
+
+let dscp_of bits =
+  (* eth(112) + version(4) + ihl(4) -> dscp at offset 120, width 6 *)
+  Bitstring.extract bits ~off:120 ~width:6
+
+let test_heavy_hitter_marks_after_threshold () =
+  let d = deploy_device (load_heavy_hitter ()) in
+  (* default threshold is 5: packets 6+ from the same source get EF *)
+  let dscps =
+    List.init 8 (fun _ ->
+        match snd (Device.inject d ~source:(Device.External 0) routed) with
+        | Device.Emitted out -> Int64.to_int (dscp_of out.Device.o_bits)
+        | _ -> Alcotest.fail "dropped")
+  in
+  Alcotest.(check (list int)) "EF after 5 packets" [ 0; 0; 0; 0; 0; 46; 46; 46 ] dscps
+
+let test_heavy_hitter_per_port_policy () =
+  (* port 2 has a stricter budget (2) via the policy table *)
+  let d = deploy_device (load_heavy_hitter ()) in
+  let dscps =
+    List.init 4 (fun _ ->
+        match snd (Device.inject d ~source:(Device.External 2) routed) with
+        | Device.Emitted out -> Int64.to_int (dscp_of out.Device.o_bits)
+        | _ -> Alcotest.fail "dropped")
+  in
+  Alcotest.(check (list int)) "EF after 2 packets on port 2" [ 0; 0; 46; 46 ] dscps
+
+let test_heavy_hitter_source_isolation () =
+  let d = deploy_device (load_heavy_hitter ()) in
+  let send src =
+    match
+      snd
+        (Device.inject d ~source:(Device.External 0)
+           (P.serialize (P.udp_ipv4 ~src ~dst:0x0A000005L ())))
+    with
+    | Device.Emitted out -> Int64.to_int (dscp_of out.Device.o_bits)
+    | _ -> Alcotest.fail "dropped"
+  in
+  (* exhaust bucket of source ...01 *)
+  for _ = 1 to 6 do
+    ignore (send 0x0A000001L)
+  done;
+  Alcotest.(check int) "hot source marked" 46 (send 0x0A000001L);
+  Alcotest.(check int) "cold source (different bucket) unmarked" 0 (send 0x0A000002L)
+
+let test_heavy_hitter_marked_checksum_valid () =
+  (* rewriting dscp must be followed by a checksum update *)
+  let d = deploy_device (load_heavy_hitter ()) in
+  let last = ref None in
+  for _ = 1 to 7 do
+    match snd (Device.inject d ~source:(Device.External 0) routed) with
+    | Device.Emitted out -> last := Some out.Device.o_bits
+    | _ -> Alcotest.fail "dropped"
+  done;
+  match !last with
+  | Some bits -> (
+      match P.find_ipv4 (P.parse bits) with
+      | Some ip ->
+          Alcotest.(check int64) "marked" 46L ip.P.Ipv4.dscp;
+          check_bool "checksum updated after marking" true (P.Ipv4.checksum_ok ip)
+      | None -> Alcotest.fail "no ipv4")
+  | None -> Alcotest.fail "no output"
+
+let test_heavy_hitter_stateful_validation () =
+  let h = Netdebug.Harness.deploy ~quirks:Quirks.none (load_heavy_hitter ()) in
+  let r = Netdebug.Usecases.Functional.run ~fuzz:8 ~stateful:true h in
+  check_bool "heavy hitter matches its spec" true (Netdebug.Usecases.Functional.passed r)
+
+(* ---------------- cross-cutting ---------------- *)
+
+let test_stateful_functional_validation () =
+  (* the stateful oracle predicts register-dependent behaviour packet by
+     packet: rate_limiter and kv_cache pass full functional validation on a
+     faithful device *)
+  List.iter
+    (fun b ->
+      let h = Netdebug.Harness.deploy ~quirks:Quirks.none b in
+      let r = Netdebug.Usecases.Functional.run ~fuzz:8 ~stateful:true h in
+      check_bool "stateful validation passes" true
+        (Netdebug.Usecases.Functional.passed r))
+    [ Programs.rate_limiter; Programs.kv_cache ]
+
+let test_stateful_validation_catches_divergence () =
+  (* same, but with a lookup-memory fault on the policy table: the device
+     falls back to the unlimited default while the oracle limits port 0 *)
+  let h = Netdebug.Harness.deploy ~quirks:Quirks.none Programs.rate_limiter in
+  Target.Device.inject_fault h.Netdebug.Harness.device ~stage:"ma:port_policy"
+    Target.Fault.Stuck_miss;
+  (* drive enough traffic through port 0's budget to expose the miss; the
+     oracle drops packet 4+ while the faulty device forwards them *)
+  let probe = P.serialize (P.udp_ipv4 ~dst:0x0A000005L ()) in
+  let vectors = List.init 8 (fun _ -> probe) in
+  (* the oracle uses the generator port's budget (5): craft vectors beyond it *)
+  let r = Netdebug.Usecases.Functional.run ~vectors ~fuzz:0 ~stateful:true h in
+  check_bool "divergence detected" true
+    (not (Netdebug.Usecases.Functional.passed r))
+
+let test_symexec_havocs_registers () =
+  (* single-packet verification must not crash on stateful programs; a GET
+     can end hit or miss depending on havocked state *)
+  let b = Programs.kv_cache in
+  let rt = Runtime.create () in
+  let run = Symexec.Sexec.explore b.Programs.program rt in
+  check_bool "paths explored" true (List.length run.Symexec.Sexec.paths >= 3)
+
+let test_stateful_programs_compile () =
+  List.iter
+    (fun (b : Programs.bundle) ->
+      match Compile.compile b.Programs.program with
+      | Ok report ->
+          (* registers consume BRAM *)
+          check_bool
+            (b.Programs.program.Ast.p_name ^ " brams")
+            true
+            (report.Compile.pipeline.Target.Pipeline.resources.Target.Resource.brams > 20)
+      | Error _ -> Alcotest.fail "stateful program failed to compile")
+    [ Programs.rate_limiter; Programs.kv_cache ]
+
+let test_typecheck_register_errors () =
+  let expect_err what p =
+    match P4ir.Typecheck.check p with
+    | Ok () -> Alcotest.failf "accepted %s" what
+    | Error _ -> ()
+  in
+  expect_err "undeclared register"
+    {
+      reg_program with
+      Ast.p_ingress = [ Ast.RegWrite ("ghost", Ast.Const (Value.of_int ~width:8 0), Ast.Const (Value.of_int ~width:16 0)) ];
+    };
+  expect_err "width mismatch"
+    {
+      reg_program with
+      Ast.p_ingress =
+        [ Ast.RegWrite ("r", Ast.Const (Value.of_int ~width:8 0), Ast.Const (Value.of_int ~width:8 0)) ];
+    };
+  expect_err "read into wrong width"
+    {
+      reg_program with
+      Ast.p_ingress =
+        [ Ast.RegRead (Ast.LField ("eth", "ethertype"), "r", Ast.Const (Value.of_int ~width:8 0)) ];
+      p_registers = [ { Ast.r_name = "r"; r_width = 32; r_size = 4 } ];
+    }
+
+let () =
+  Alcotest.run "stateful"
+    [
+      ( "regstate",
+        [
+          Alcotest.test_case "read/write" `Quick test_regstate_read_write;
+          Alcotest.test_case "bounds" `Quick test_regstate_bounds;
+          Alcotest.test_case "width truncation" `Quick test_regstate_width_truncation;
+          Alcotest.test_case "undeclared" `Quick test_regstate_undeclared;
+          Alcotest.test_case "reset" `Quick test_regstate_reset;
+        ] );
+      ( "rate_limiter",
+        [
+          Alcotest.test_case "budget enforced" `Quick test_rate_limiter_budget;
+          Alcotest.test_case "per-port isolation" `Quick test_rate_limiter_per_port_isolation;
+          Alcotest.test_case "register visible" `Quick test_rate_limiter_register_visible;
+          Alcotest.test_case "interp stateless vs stateful" `Quick
+            test_rate_limiter_interp_stateless_vs_stateful;
+        ] );
+      ( "kv_cache",
+        [
+          Alcotest.test_case "miss/put/hit" `Quick test_kv_get_miss_then_put_then_hit;
+          Alcotest.test_case "key isolation" `Quick test_kv_key_isolation;
+          Alcotest.test_case "index aliasing" `Quick test_kv_index_aliasing;
+          Alcotest.test_case "unknown op" `Quick test_kv_unknown_op;
+          Alcotest.test_case "counters" `Quick test_kv_counters;
+        ] );
+      ( "heavy_hitter",
+        [
+          Alcotest.test_case "marks after threshold" `Quick
+            test_heavy_hitter_marks_after_threshold;
+          Alcotest.test_case "per-port policy" `Quick test_heavy_hitter_per_port_policy;
+          Alcotest.test_case "source isolation" `Quick test_heavy_hitter_source_isolation;
+          Alcotest.test_case "checksum after marking" `Quick
+            test_heavy_hitter_marked_checksum_valid;
+          Alcotest.test_case "stateful validation" `Quick
+            test_heavy_hitter_stateful_validation;
+        ] );
+      ( "cross",
+        [
+          Alcotest.test_case "stateful functional validation" `Quick
+            test_stateful_functional_validation;
+          Alcotest.test_case "stateful validation catches divergence" `Quick
+            test_stateful_validation_catches_divergence;
+          Alcotest.test_case "symexec havocs registers" `Quick test_symexec_havocs_registers;
+          Alcotest.test_case "stateful programs compile" `Quick test_stateful_programs_compile;
+          Alcotest.test_case "typecheck register errors" `Quick test_typecheck_register_errors;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Tests for counters, histograms, rate meters and the table renderer. *)
+
+module Counter = Stats.Counter
+module Histogram = Stats.Histogram
+module Rate = Stats.Rate
+module Texttable = Stats.Texttable
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let close ?(eps = 1e-6) msg expected got =
+  if abs_float (expected -. got) > eps then
+    Alcotest.failf "%s: expected %f, got %f" msg expected got
+
+(* ---------------- Counter ---------------- *)
+
+let test_counter_basic () =
+  let c = Counter.create "rx" in
+  Counter.incr c;
+  Counter.incr c;
+  Counter.add c 5L;
+  check_i64 "value" 7L (Counter.get c);
+  Counter.reset c;
+  check_i64 "reset" 0L (Counter.get c)
+
+let test_counter_set () =
+  let s = Counter.Set.create () in
+  Counter.Set.incr s "a";
+  Counter.Set.incr s "a";
+  Counter.Set.add s "b" 10L;
+  check_i64 "a" 2L (Counter.Set.get s "a");
+  check_i64 "b" 10L (Counter.Set.get s "b");
+  check_i64 "unknown reads zero" 0L (Counter.Set.get s "nope");
+  Alcotest.(check (list (pair string int64)))
+    "alist sorted"
+    [ ("a", 2L); ("b", 10L) ]
+    (Counter.Set.to_alist s)
+
+let test_counter_set_reset () =
+  let s = Counter.Set.create () in
+  Counter.Set.add s "x" 3L;
+  Counter.Set.reset_all s;
+  check_i64 "cleared" 0L (Counter.Set.get s "x")
+
+(* ---------------- Histogram ---------------- *)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  check_int "count" 0 (Histogram.count h);
+  close "mean" 0.0 (Histogram.mean h);
+  close "p99" 0.0 (Histogram.percentile h 99.0)
+
+let test_histogram_single () =
+  let h = Histogram.create () in
+  Histogram.add h 100.0;
+  check_int "count" 1 (Histogram.count h);
+  close "mean" 100.0 (Histogram.mean h);
+  close "min" 100.0 (Histogram.min_value h);
+  close "max" 100.0 (Histogram.max_value h)
+
+let test_histogram_percentile_bounds () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  let p50 = Histogram.percentile h 50.0 in
+  let p99 = Histogram.percentile h 99.0 in
+  (* log-binned: answers are upper bin bounds, within ~5% above truth *)
+  check_bool "p50 in band" true (p50 >= 500.0 && p50 <= 530.0);
+  check_bool "p99 in band" true (p99 >= 990.0 && p99 <= 1000.0);
+  check_bool "monotone" true (p99 >= p50)
+
+let test_histogram_percentile_never_exceeds_max () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 3.0; 900.0; 90000.0 ];
+  check_bool "p100 <= max" true (Histogram.percentile h 100.0 <= Histogram.max_value h)
+
+let test_histogram_stddev () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 10.0; 10.0; 10.0 ];
+  close "zero spread" 0.0 (Histogram.stddev h);
+  let h2 = Histogram.create () in
+  List.iter (Histogram.add h2) [ 0.0; 20.0 ];
+  close "spread 10" 10.0 (Histogram.stddev h2)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 5.0;
+  Histogram.add b 15.0;
+  let m = Histogram.merge a b in
+  check_int "merged count" 2 (Histogram.count m);
+  close "merged mean" 10.0 (Histogram.mean m)
+
+let prop_percentile_bracket =
+  QCheck.Test.make ~count:200 ~name:"percentile brackets true quantile"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_range 0.0 1e6))
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let true_p90 = List.nth sorted (min (n - 1) (int_of_float (ceil (0.9 *. float_of_int n)) - 1 |> max 0)) in
+      let est = Histogram.percentile h 90.0 in
+      (* upper bound within one bin (5%) plus the sub-1.0 bin *)
+      est >= true_p90 -. 1e-9 && est <= (true_p90 *. 1.06) +. 1.0)
+
+(* ---------------- Rate ---------------- *)
+
+let test_rate_basic () =
+  let r = Rate.create () in
+  (* 1000-byte packets every 1000 ns: 1 Mpps x 8 Gb/s *)
+  for i = 0 to 10 do
+    Rate.record r ~now_ns:(float_of_int (i * 1000)) ~bytes:1000
+  done;
+  close ~eps:1e3 "pps" 1e6 (Rate.packets_per_sec r);
+  check_int "packets" 11 (Rate.packets r)
+
+let test_rate_single_observation () =
+  let r = Rate.create () in
+  Rate.record r ~now_ns:5.0 ~bytes:100;
+  close "no rate from one sample" 0.0 (Rate.packets_per_sec r)
+
+let test_rate_gbps () =
+  let r = Rate.create () in
+  (* 125 bytes per 100ns = 10 Gb/s *)
+  for i = 0 to 100 do
+    Rate.record r ~now_ns:(float_of_int (i * 100)) ~bytes:125
+  done;
+  close ~eps:0.01 "10G" 10.0 (Rate.gbps r)
+
+(* ---------------- Texttable ---------------- *)
+
+let test_texttable_render () =
+  let t = Texttable.create [ "name"; "value" ] in
+  Texttable.add_row t [ "alpha"; "1" ];
+  Texttable.add_row t [ "b"; "22" ];
+  let s = Texttable.render t in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "header present" true (contains s "name");
+  check_bool "cell present" true (contains s "alpha");
+  (* every line has the same length *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let lens = List.map String.length lines in
+  check_bool "aligned" true (List.for_all (fun l -> l = List.hd lens) lens)
+
+let test_texttable_ragged_rows () =
+  let t = Texttable.create [ "a"; "b"; "c" ] in
+  Texttable.add_row t [ "1" ];
+  Texttable.add_row t [ "1"; "2"; "3"; "4" ];
+  let s = Texttable.render t in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let lens = List.map String.length lines in
+  check_bool "still aligned" true (List.for_all (fun l -> l = List.hd lens) lens)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basic" `Quick test_counter_basic;
+          Alcotest.test_case "set" `Quick test_counter_set;
+          Alcotest.test_case "set reset" `Quick test_counter_set_reset;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "single" `Quick test_histogram_single;
+          Alcotest.test_case "percentile bounds" `Quick test_histogram_percentile_bounds;
+          Alcotest.test_case "p100 <= max" `Quick test_histogram_percentile_never_exceeds_max;
+          Alcotest.test_case "stddev" `Quick test_histogram_stddev;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          QCheck_alcotest.to_alcotest prop_percentile_bracket;
+        ] );
+      ( "rate",
+        [
+          Alcotest.test_case "basic" `Quick test_rate_basic;
+          Alcotest.test_case "single observation" `Quick test_rate_single_observation;
+          Alcotest.test_case "gbps" `Quick test_rate_gbps;
+        ] );
+      ( "texttable",
+        [
+          Alcotest.test_case "render" `Quick test_texttable_render;
+          Alcotest.test_case "ragged rows" `Quick test_texttable_ragged_rows;
+        ] );
+    ]

@@ -1,0 +1,463 @@
+(* Tests for the formal-verification baseline: symbolic expressions, the
+   bounded solver, the path explorer, and the property checks — including
+   replaying generated witness packets on the reference interpreter. *)
+
+module Ast = P4ir.Ast
+module Value = P4ir.Value
+module Runtime = P4ir.Runtime
+module Interp = P4ir.Interp
+module Programs = P4ir.Programs
+module Dsl = P4ir.Dsl
+module Sym = Symexec.Sym
+module Solver = Symexec.Solver
+module Sexec = Symexec.Sexec
+module Check = Symexec.Check
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let v w x = Value.of_int ~width:w x
+
+(* ---------------- Sym ---------------- *)
+
+let test_sym_constant_folding () =
+  let e = Sym.bin Ast.Add (Sym.of_int ~width:8 3) (Sym.of_int ~width:8 4) in
+  (match Sym.is_const e with
+  | Some c -> Alcotest.(check int64) "folded" 7L (Value.to_int64 c)
+  | None -> Alcotest.fail "not folded");
+  let x = Sym.fresh_var ~name:"x" ~width:8 in
+  (* x + 0 = x *)
+  check_bool "identity add" true (Sym.equal (Sym.bin Ast.Add x (Sym.of_int ~width:8 0)) x);
+  (* x & 0 = 0 *)
+  (match Sym.is_const (Sym.bin Ast.BAnd x (Sym.of_int ~width:8 0)) with
+  | Some c -> check_bool "annihilator" true (Value.is_zero c)
+  | None -> Alcotest.fail "x & 0 not folded");
+  (* x == x folds to true *)
+  check_bool "reflexive eq" true (Sym.equal (Sym.bin Ast.Eq x x) (Sym.const Value.tru));
+  (* !!b = b *)
+  check_bool "double negation" true (Sym.equal (Sym.not_ (Sym.not_ (Sym.bin Ast.Eq x (Sym.of_int ~width:8 1))))
+      (Sym.bin Ast.Eq x (Sym.of_int ~width:8 1)))
+
+let test_sym_width () =
+  let x = Sym.fresh_var ~name:"x" ~width:16 in
+  check_int "bin keeps width" 16 (Sym.width (Sym.bin Ast.Add x x));
+  check_int "comparison is bool" 1 (Sym.width (Sym.bin Ast.Lt x x));
+  check_int "slice" 8 (Sym.width (Sym.slice x ~msb:15 ~lsb:8));
+  check_int "concat" 32 (Sym.width (Sym.concat x x))
+
+let test_sym_eval () =
+  let x = Sym.fresh_var ~name:"x" ~width:8 in
+  let id = match x with Sym.Var v -> v.Sym.v_id | _ -> assert false in
+  let e = Sym.bin Ast.Mul (Sym.bin Ast.Add x (Sym.of_int ~width:8 1)) (Sym.of_int ~width:8 2) in
+  let result = Sym.eval (fun i -> if i = id then v 8 10 else assert false) e in
+  Alcotest.(check int64) "(10+1)*2" 22L (Value.to_int64 result)
+
+let test_sym_vars_dedup () =
+  let x = Sym.fresh_var ~name:"x" ~width:8 in
+  let e = Sym.bin Ast.Add x x in
+  check_int "x counted once" 1 (List.length (Sym.vars e))
+
+(* ---------------- Solver ---------------- *)
+
+let var w name = Sym.fresh_var ~name ~width:w
+
+let test_solver_exact_constraint () =
+  let x = var 16 "ethertype" in
+  match Solver.solve [ Sym.bin Ast.Eq x (Sym.of_int ~width:16 0x800) ] with
+  | Solver.Sat m ->
+      let id = match x with Sym.Var v -> v.Sym.v_id | _ -> assert false in
+      Alcotest.(check int64) "model value" 0x800L (Value.to_int64 (Solver.model_value m id))
+  | _ -> Alcotest.fail "no model"
+
+let test_solver_masked_constraint () =
+  let x = var 32 "addr" in
+  let masked =
+    Sym.bin Ast.Eq
+      (Sym.bin Ast.BAnd x (Sym.of_int ~width:32 0xFF000000))
+      (Sym.of_int ~width:32 0x0A000000)
+  in
+  match Solver.solve [ masked ] with
+  | Solver.Sat m -> check_bool "model satisfies" true (Solver.holds m [ masked ])
+  | _ -> Alcotest.fail "no model for masked constraint"
+
+let test_solver_lpm_shape () =
+  let x = var 32 "dst" in
+  (* (x >> 16) == 0x0A01: the shape entry_match_cond emits for /16 *)
+  let c =
+    Sym.bin Ast.Eq
+      (Sym.bin Ast.Shr x (Sym.of_int ~width:8 16))
+      (Sym.of_int ~width:32 0x0A01)
+  in
+  match Solver.solve [ c ] with
+  | Solver.Sat m -> check_bool "model satisfies lpm" true (Solver.holds m [ c ])
+  | _ -> Alcotest.fail "no model for lpm shape"
+
+let test_solver_conjunction_and_negation () =
+  let x = var 16 "port" in
+  let cs =
+    [
+      Sym.bin Ast.Neq x (Sym.of_int ~width:16 80);
+      Sym.bin Ast.Gt x (Sym.of_int ~width:16 1000);
+      Sym.bin Ast.Lt x (Sym.of_int ~width:16 1003);
+    ]
+  in
+  match Solver.solve cs with
+  | Solver.Sat m -> check_bool "holds all" true (Solver.holds m cs)
+  | _ -> Alcotest.fail "no model for small range"
+
+let test_solver_trivial () =
+  (match Solver.solve [ Sym.const Value.fls ] with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "constant false should be Unsat");
+  (match Solver.solve [] with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "empty conjunction is Sat");
+  let x = var 8 "x" in
+  match
+    Solver.solve ~max_tries:500
+      [
+        Sym.bin Ast.Eq x (Sym.of_int ~width:8 1);
+        Sym.bin Ast.Eq x (Sym.of_int ~width:8 2);
+      ]
+  with
+  | Solver.Unknown -> ()
+  | Solver.Sat _ -> Alcotest.fail "contradiction declared Sat"
+  | Solver.Unsat -> () (* fine too, if it ever learns to prove it *)
+
+let test_solver_unsat_detection () =
+  (* the same information expressed via mask and via shift, contradicting *)
+  let dst = var 32 "dst" in
+  let masked =
+    Sym.bin Ast.Eq
+      (Sym.bin Ast.BAnd dst (Sym.of_int ~width:32 0xFFFF0000))
+      (Sym.of_int ~width:32 0x0A010000)
+  in
+  let shifted =
+    Sym.bin Ast.Eq
+      (Sym.bin Ast.Shr dst (Sym.of_int ~width:8 16))
+      (Sym.of_int ~width:32 0x0A01)
+  in
+  (match Solver.solve [ masked; Sym.not_ shifted ] with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "contradiction declared Sat"
+  | Solver.Unknown -> Alcotest.fail "should be proved Unsat");
+  (* conflicting full assignments *)
+  let p = var 8 "proto" in
+  (match
+     Solver.solve
+       [ Sym.bin Ast.Eq p (Sym.of_int ~width:8 6); Sym.bin Ast.Eq p (Sym.of_int ~width:8 17) ]
+   with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "6 != 17");
+  (* a self-contradictory masked fact: value has bits outside the mask *)
+  let q = var 16 "q" in
+  (match
+     Solver.solve
+       [
+         Sym.bin Ast.Eq
+           (Sym.bin Ast.BAnd q (Sym.of_int ~width:16 0xFF00))
+           (Sym.of_int ~width:16 0x00FF);
+       ]
+   with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "(q & 0xFF00) == 0x00FF is unsatisfiable");
+  (* and the consistent counterpart is satisfiable *)
+  match Solver.solve [ masked; shifted ] with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "consistent pair should be Sat"
+
+let test_solver_classifies_all_acl_paths () =
+  let b = Programs.acl_firewall in
+  let rt = Runtime.create () in
+  (match Runtime.install_all b.Programs.program rt b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let run = Sexec.explore b.Programs.program rt in
+  List.iter
+    (fun p ->
+      match Solver.solve p.Sexec.p_conds with
+      | Solver.Sat _ | Solver.Unsat -> ()
+      | Solver.Unknown -> Alcotest.fail "an acl path was left Unknown")
+    run.Sexec.paths
+
+let prop_solver_sound =
+  (* any Sat answer must actually satisfy the constraints *)
+  QCheck.Test.make ~count:100 ~name:"solver models verify"
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) bool)
+    (fun (a, b, use_and) ->
+      let x = var 16 "x" and y = var 16 "y" in
+      let c1 = Sym.bin Ast.Eq x (Sym.of_int ~width:16 a) in
+      let c2 =
+        if use_and then
+          Sym.bin Ast.Eq
+            (Sym.bin Ast.BAnd y (Sym.of_int ~width:16 0xFF00))
+            (Sym.of_int ~width:16 (b land 0xFF00))
+        else Sym.bin Ast.Ge y (Sym.of_int ~width:16 b)
+      in
+      match Solver.solve [ c1; c2 ] with
+      | Solver.Sat m -> Solver.holds m [ c1; c2 ]
+      | Solver.Unsat -> false (* these are always satisfiable *)
+      | Solver.Unknown -> true (* allowed, just incomplete *))
+
+(* ---------------- Sexec ---------------- *)
+
+let deploy (b : Programs.bundle) =
+  let rt = Runtime.create () in
+  (match Runtime.install_all b.Programs.program rt b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (b.Programs.program, rt)
+
+let test_explore_router_paths () =
+  let program, rt = deploy Programs.basic_router in
+  let run = Sexec.explore program rt in
+  check_bool "not truncated" false run.Sexec.truncated;
+  let endings = List.map (fun p -> p.Sexec.p_ending) run.Sexec.paths in
+  check_bool "has reject paths" true
+    (List.exists (function Sexec.Rejected _ -> true | _ -> false) endings);
+  check_bool "has forwarded paths" true (List.mem Sexec.Forwarded endings);
+  check_bool "has drop paths" true
+    (List.exists (function Sexec.Dropped _ -> true | _ -> false) endings)
+
+let test_explore_counts_table_branches () =
+  let program, rt = deploy Programs.basic_router in
+  let run = Sexec.explore program rt in
+  (* three entries + default = 4 table outcomes on the routed paths *)
+  let actions =
+    List.sort_uniq compare
+      (List.concat_map (fun p -> p.Sexec.p_tables) run.Sexec.paths)
+  in
+  check_bool "set_nexthop branch" true (List.mem ("ipv4_lpm", "set_nexthop") actions);
+  check_bool "default branch" true (List.mem ("ipv4_lpm", "drop_packet") actions)
+
+let test_witness_replays_on_interpreter () =
+  (* every satisfiable reject path's witness must actually be rejected by
+     the reference interpreter *)
+  let program, rt = deploy Programs.basic_router in
+  let findings = Check.reject_reachable program rt in
+  check_bool "some reject witnesses" true
+    (List.exists (fun f -> f.Check.f_witness <> None) findings);
+  List.iter
+    (fun f ->
+      match f.Check.f_witness with
+      | Some (port, bits) -> (
+          match (Interp.process program rt ~ingress_port:port bits).Interp.result with
+          | Interp.Dropped reason ->
+              check_bool "dropped at parser" true
+                (String.length reason >= 6 && String.sub reason 0 6 = "parser")
+          | Interp.Forwarded _ -> Alcotest.fail "witness was forwarded")
+      | None -> ())
+    findings
+
+(* ---------------- Check ---------------- *)
+
+let test_rejected_are_dropped_holds_on_spec () =
+  let program, rt = deploy Programs.parser_guard in
+  let f = Check.rejected_are_dropped program rt in
+  Alcotest.(check string) "verdict" "HOLDS" (Check.verdict_to_string f.Check.f_verdict)
+
+let test_ttl_property_distinguishes_buggy_router () =
+  let program, rt = deploy Programs.basic_router in
+  let good = Check.ttl_decremented program rt in
+  Alcotest.(check string) "good router" "HOLDS"
+    (Check.verdict_to_string good.Check.f_verdict);
+  let program, rt = deploy Programs.buggy_router in
+  let bad = Check.ttl_decremented program rt in
+  Alcotest.(check string) "buggy router" "VIOLATED"
+    (Check.verdict_to_string bad.Check.f_verdict);
+  (* replay the witness: TTL must come out unchanged *)
+  match bad.Check.f_witness with
+  | Some (port, bits) -> (
+      let in_ttl = Bitutil.Bitstring.extract bits ~off:(112 + 64) ~width:8 in
+      match (Interp.process program rt ~ingress_port:port bits).Interp.result with
+      | Interp.Forwarded (_, out) ->
+          let out_ttl = Bitutil.Bitstring.extract out ~off:(112 + 64) ~width:8 in
+          Alcotest.(check int64) "ttl unchanged on wire" in_ttl out_ttl
+      | Interp.Dropped r -> Alcotest.failf "witness dropped: %s" r)
+  | None -> Alcotest.fail "no witness for the TTL bug"
+
+let test_forward_requires_ipv4 () =
+  let program, rt = deploy Programs.basic_router in
+  let f = Check.forward_requires_header ~header:"ipv4" program rt in
+  Alcotest.(check string) "router never forwards non-ipv4" "HOLDS"
+    (Check.verdict_to_string f.Check.f_verdict);
+  (* parser_guard punts ARP without ipv4: the property is (by design) violated *)
+  let program, rt = deploy Programs.parser_guard in
+  let f = Check.forward_requires_header ~header:"ipv4" program rt in
+  Alcotest.(check string) "guard punts arp" "VIOLATED"
+    (Check.verdict_to_string f.Check.f_verdict)
+
+let test_assertion_violation_found () =
+  let program =
+    {
+      Programs.reflector.Programs.program with
+      Ast.p_name = "bad_assert";
+      p_ingress =
+        [
+          Dsl.assert_
+            Dsl.(fld "eth" "ethertype" <>: const ~width:16 0x1234)
+            "no calc traffic expected";
+          Dsl.set_std Ast.Egress_spec (Dsl.std Ast.Ingress_port);
+        ];
+    }
+  in
+  let rt = Runtime.create () in
+  match Check.assertions program rt with
+  | [ f ] ->
+      Alcotest.(check string) "violated" "VIOLATED" (Check.verdict_to_string f.Check.f_verdict)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_assertion_holds_on_router () =
+  let program, rt = deploy Programs.basic_router in
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "router asserts hold" "HOLDS"
+        (Check.verdict_to_string f.Check.f_verdict))
+    (Check.assertions program rt)
+
+let test_action_coverage () =
+  let program, rt = deploy Programs.basic_router in
+  let findings = Check.action_coverage program rt in
+  check_int "two actions" 2 (List.length findings);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) ("coverage: " ^ f.Check.f_property) "HOLDS"
+        (Check.verdict_to_string f.Check.f_verdict))
+    findings
+
+let test_dead_action_detected () =
+  (* an action listed on the table but never selected: no entry uses it and
+     it is not the default *)
+  let b = Programs.l2_switch in
+  let rt = Runtime.create () in
+  (* install only dmac entries, never smac: src_known becomes dead *)
+  List.iter
+    (fun (t, e) ->
+      if String.equal t "dmac" then P4ir.Runtime.add_exn b.Programs.program rt ~table:t e)
+    b.Programs.entries;
+  let findings = Check.action_coverage b.Programs.program rt in
+  let dead =
+    List.filter
+      (fun f ->
+        f.Check.f_verdict = Check.Violated
+        && f.Check.f_property = "table smac: action src_known reachable")
+      findings
+  in
+  check_int "src_known is dead" 1 (List.length dead)
+
+let test_egress_port_bounded () =
+  let program, rt = deploy Programs.basic_router in
+  let f = Check.egress_port_bounded ~ports:4 program rt in
+  Alcotest.(check string) "router stays physical" "HOLDS"
+    (Check.verdict_to_string f.Check.f_verdict);
+  let program, rt = deploy Programs.parser_guard in
+  let f = Check.egress_port_bounded ~ports:4 program rt in
+  Alcotest.(check string) "cpu punt flagged" "VIOLATED"
+    (Check.verdict_to_string f.Check.f_verdict);
+  (* whitelisting the CPU port makes it pass *)
+  let f = Check.egress_port_bounded ~ports:4 ~allowed:[ 63 ] program rt in
+  Alcotest.(check string) "cpu punt allow-listed" "HOLDS"
+    (Check.verdict_to_string f.Check.f_verdict);
+  (* witness replay: the violating packet really goes to port 63 *)
+  let program, rt = deploy Programs.parser_guard in
+  match (Check.egress_port_bounded ~ports:4 program rt).Check.f_witness with
+  | Some (port, bits) -> (
+      match (Interp.process program rt ~ingress_port:port bits).Interp.result with
+      | Interp.Forwarded (63, _) -> ()
+      | Interp.Forwarded (p, _) -> Alcotest.failf "witness went to %d" p
+      | Interp.Dropped r -> Alcotest.failf "witness dropped: %s" r)
+  | None -> Alcotest.fail "no witness"
+
+let test_invalid_header_read_detected () =
+  (* a firewall that reads tcp.dst_port without checking tcp validity: on
+     the UDP path the read silently yields 0 *)
+  let program =
+    {
+      Programs.acl_firewall.Programs.program with
+      Ast.p_name = "careless_acl";
+      p_ingress =
+        [
+          (* BUG: no validity guard *)
+          Dsl.set_meta "l4_dport" (Dsl.fld "tcp" "dst_port");
+          Dsl.if_ (Dsl.valid "ipv4")
+            [ Ast.Apply "acl";
+              Dsl.if_ Dsl.(meta "allow" ==: const ~width:1 1)
+                [ Ast.Apply "ipv4_lpm" ] [ Ast.MarkToDrop ] ]
+            [ Ast.MarkToDrop ];
+        ];
+    }
+  in
+  let rt = Runtime.create () in
+  (match
+     Runtime.install_all program rt Programs.acl_firewall.Programs.entries
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let f = Check.no_invalid_header_reads program rt in
+  Alcotest.(check string) "careless read flagged" "VIOLATED"
+    (Check.verdict_to_string f.Check.f_verdict);
+  (* the library programs are all clean *)
+  List.iter
+    (fun (b : Programs.bundle) ->
+      let rt = Runtime.create () in
+      (match Runtime.install_all b.Programs.program rt b.Programs.entries with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      let f = Check.no_invalid_header_reads b.Programs.program rt in
+      Alcotest.(check string)
+        (b.Programs.program.Ast.p_name ^ " clean")
+        "HOLDS"
+        (Check.verdict_to_string f.Check.f_verdict))
+    [ Programs.basic_router; Programs.acl_firewall; Programs.mpls_tunnel ]
+
+let test_run_all_battery () =
+  let program, rt = deploy Programs.basic_router in
+  let findings = Check.run_all program rt in
+  check_bool "battery is non-trivial" true (List.length findings >= 5);
+  check_bool "no violations on the good router" true
+    (List.for_all (fun f -> f.Check.f_verdict <> Check.Violated) findings)
+
+let () =
+  Alcotest.run "symexec"
+    [
+      ( "sym",
+        [
+          Alcotest.test_case "constant folding" `Quick test_sym_constant_folding;
+          Alcotest.test_case "width" `Quick test_sym_width;
+          Alcotest.test_case "eval" `Quick test_sym_eval;
+          Alcotest.test_case "vars dedup" `Quick test_sym_vars_dedup;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "exact constraint" `Quick test_solver_exact_constraint;
+          Alcotest.test_case "masked constraint" `Quick test_solver_masked_constraint;
+          Alcotest.test_case "lpm shape" `Quick test_solver_lpm_shape;
+          Alcotest.test_case "conjunction" `Quick test_solver_conjunction_and_negation;
+          Alcotest.test_case "trivial cases" `Quick test_solver_trivial;
+          Alcotest.test_case "unsat detection" `Quick test_solver_unsat_detection;
+          Alcotest.test_case "acl paths fully classified" `Quick
+            test_solver_classifies_all_acl_paths;
+          QCheck_alcotest.to_alcotest prop_solver_sound;
+        ] );
+      ( "sexec",
+        [
+          Alcotest.test_case "router paths" `Quick test_explore_router_paths;
+          Alcotest.test_case "table branches" `Quick test_explore_counts_table_branches;
+          Alcotest.test_case "witness replay" `Quick test_witness_replays_on_interpreter;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "rejected-are-dropped holds on spec" `Quick
+            test_rejected_are_dropped_holds_on_spec;
+          Alcotest.test_case "ttl property vs buggy router" `Quick
+            test_ttl_property_distinguishes_buggy_router;
+          Alcotest.test_case "forward requires ipv4" `Quick test_forward_requires_ipv4;
+          Alcotest.test_case "assertion violation found" `Quick test_assertion_violation_found;
+          Alcotest.test_case "router assertions hold" `Quick test_assertion_holds_on_router;
+          Alcotest.test_case "action coverage" `Quick test_action_coverage;
+          Alcotest.test_case "dead action detected" `Quick test_dead_action_detected;
+          Alcotest.test_case "egress port bounded" `Quick test_egress_port_bounded;
+          Alcotest.test_case "invalid header read" `Quick test_invalid_header_read_detected;
+          Alcotest.test_case "run_all battery" `Quick test_run_all_battery;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+(* Tests for the bounded event trace. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_record_and_read () =
+  let t = Trace.create () in
+  Trace.record t ~time_ns:1.0 ~component:"parser" "hello";
+  Trace.record t ~time_ns:2.0 ~component:"ma:lpm" "world";
+  check_int "count" 2 (Trace.count t);
+  match Trace.events t with
+  | [ a; b ] ->
+      Alcotest.(check string) "order" "parser" a.Trace.component;
+      Alcotest.(check string) "order" "ma:lpm" b.Trace.component
+  | _ -> Alcotest.fail "expected two events"
+
+let test_packet_correlation () =
+  let t = Trace.create () in
+  Trace.record t ~packet_id:7 ~time_ns:1.0 ~component:"parser" "a";
+  Trace.record t ~packet_id:8 ~time_ns:2.0 ~component:"parser" "b";
+  Trace.record t ~packet_id:7 ~time_ns:3.0 ~component:"deparser" "c";
+  let evs = Trace.events_for_packet t 7 in
+  check_int "two events for pkt 7" 2 (List.length evs);
+  check_bool "ordered" true
+    (match evs with [ a; b ] -> a.Trace.time_ns < b.Trace.time_ns | _ -> false)
+
+let test_by_component () =
+  let t = Trace.create () in
+  for i = 1 to 5 do
+    Trace.record t ~time_ns:(float_of_int i) ~component:"x" "e"
+  done;
+  Trace.record t ~time_ns:9.0 ~component:"y" "e";
+  check_int "component filter" 5 (List.length (Trace.by_component t "x"))
+
+let test_ring_eviction () =
+  let t = Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Trace.record t ~time_ns:(float_of_int i) ~component:"c" (string_of_int i)
+  done;
+  check_int "capped" 8 (Trace.count t);
+  check_int "dropped" 12 (Trace.dropped t);
+  (match Trace.events t with
+  | first :: _ -> Alcotest.(check string) "oldest survivor" "13" first.Trace.message
+  | [] -> Alcotest.fail "empty");
+  Trace.clear t;
+  check_int "cleared" 0 (Trace.count t)
+
+let test_severity_rendering () =
+  Alcotest.(check string) "error" "ERROR" (Trace.severity_to_string Trace.Error);
+  let t = Trace.create () in
+  Trace.record t ~severity:Trace.Warn ~time_ns:1.5 ~component:"q" "overflow";
+  match Trace.events t with
+  | [ e ] ->
+      let s = Format.asprintf "%a" Trace.pp_event e in
+      check_bool "has WARN" true
+        (String.length s > 0 &&
+         let rec contains i =
+           i + 4 <= String.length s && (String.sub s i 4 = "WARN" || contains (i + 1))
+         in
+         contains 0)
+  | _ -> Alcotest.fail "expected one event"
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "record and read" `Quick test_record_and_read;
+          Alcotest.test_case "packet correlation" `Quick test_packet_correlation;
+          Alcotest.test_case "by component" `Quick test_by_component;
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "severity rendering" `Quick test_severity_rendering;
+        ] );
+    ]
