@@ -1,28 +1,38 @@
 (* Benchmark/experiment driver.
 
-     dune exec bench/main.exe                 — everything
-     dune exec bench/main.exe -- figure2      — one experiment
-     dune exec bench/main.exe -- --list       — list experiment names
-     dune exec bench/main.exe -- --no-micro   — experiments only
+     dune exec bench/main.exe                        — everything
+     dune exec bench/main.exe -- figure2             — one experiment
+     dune exec bench/main.exe -- --list              — list experiment names
+     dune exec bench/main.exe -- --no-micro          — experiments only
+     dune exec bench/main.exe -- micro --json FILE   — also write microbench
+                                                       results as JSON
 *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  if List.mem "--list" args then begin
+  let rec parse json wanted no_micro list = function
+    | [] -> (json, List.rev wanted, no_micro, list)
+    | "--json" :: file :: rest -> parse (Some file) wanted no_micro list rest
+    | [ "--json" ] ->
+        prerr_endline "--json needs a file argument";
+        exit 2
+    | "--list" :: rest -> parse json wanted no_micro true rest
+    | "--no-micro" :: rest -> parse json wanted true list rest
+    | a :: rest -> parse json (a :: wanted) no_micro list rest
+  in
+  let json, wanted, no_micro, list = parse None [] false false args in
+  if list then begin
     List.iter (fun (name, _) -> print_endline name) Experiments.all;
     print_endline "micro"
   end
   else begin
-    let wanted = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
-    let run_micro =
-      (not (List.mem "--no-micro" args)) && (wanted = [] || List.mem "micro" wanted)
-    in
+    let run_micro = (not no_micro) && (wanted = [] || List.mem "micro" wanted) in
     let selected =
       if wanted = [] then Experiments.all
       else List.filter (fun (name, _) -> List.mem name wanted) Experiments.all
     in
     Format.printf "NetDebug experiment reproduction (simulated NetFPGA-SUME / SDNet)@.";
     List.iter (fun (_, f) -> f ()) selected;
-    if run_micro then Microbench.run ();
+    if run_micro then Microbench.run ?json ();
     Format.printf "@.done.@."
   end

@@ -152,12 +152,48 @@ let tests =
       b6_symexec; b7_compile; b8_checksum; b9_kv_get; b10_wire_roundtrip;
     ]
 
-let run () =
+(* per-operation estimate of one measure for one test, if the OLS converged *)
+let estimate merged label name =
+  match Hashtbl.find_opt merged label with
+  | None -> None
+  | Some per_test -> (
+      match Hashtbl.find_opt per_test name with
+      | None -> None
+      | Some ols -> (
+          match Analyze.OLS.estimates ols with Some [ v ] -> Some v | Some _ | None -> None))
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' -> Buffer.add_char b '\\'; Buffer.add_char b c
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json file rows =
+  let oc = open_out file in
+  let num = function None -> "null" | Some v -> Printf.sprintf "%.2f" v in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns, allocs) ->
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_op\": %s, \"minor_words_per_op\": %s}%s\n"
+        (json_escape name) (num ns) (num allocs)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Format.printf "microbench results written to %s@." file
+
+let run ?json () =
   Format.printf "@.==== Microbenchmarks (Bechamel) ====@.@.";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
@@ -166,21 +202,24 @@ let run () =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
-  let table = Stats.Texttable.create [ "benchmark"; "ns/op" ] in
-  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
-  | Some per_test ->
-      let rows =
-        Hashtbl.fold
-          (fun name ols acc ->
-            let est =
-              match Analyze.OLS.estimates ols with
-              | Some [ ns ] -> Printf.sprintf "%.1f" ns
-              | Some _ | None -> "n/a"
-            in
-            (name, est) :: acc)
-          per_test []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      in
-      List.iter (fun (name, est) -> Stats.Texttable.add_row table [ name; est ]) rows
-  | None -> ());
-  Format.printf "%s@." (Stats.Texttable.render table)
+  let names =
+    match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+    | Some per_test -> Hashtbl.fold (fun name _ acc -> name :: acc) per_test [] |> List.sort String.compare
+    | None -> []
+  in
+  let rows =
+    List.map
+      (fun name ->
+        ( name,
+          estimate merged (Measure.label Instance.monotonic_clock) name,
+          estimate merged (Measure.label Instance.minor_allocated) name ))
+      names
+  in
+  let table = Stats.Texttable.create [ "benchmark"; "ns/op"; "minor w/op" ] in
+  List.iter
+    (fun (name, ns, allocs) ->
+      let cell = function Some v -> Printf.sprintf "%.1f" v | None -> "n/a" in
+      Stats.Texttable.add_row table [ name; cell ns; cell allocs ])
+    rows;
+  Format.printf "%s@." (Stats.Texttable.render table);
+  match json with None -> () | Some file -> write_json file rows

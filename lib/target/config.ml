@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  ports : int;
+  clock_mhz : float;
+  bus_bytes_per_cycle : int;
+  max_parser_states : int;
+  max_tables : int;
+  max_table_entries : int;
+  max_key_bits : int;
+  luts : int;
+  ffs : int;
+  brams : int;
+  tcam_bits : int;
+  rx_queue_packets : int;
+  tx_queue_packets : int;
+}
+
+let netfpga_sume =
+  {
+    name = "netfpga-sume";
+    ports = 4;
+    clock_mhz = 200.0;
+    bus_bytes_per_cycle = 32;
+    max_parser_states = 32;
+    max_tables = 16;
+    max_table_entries = 16384;
+    max_key_bits = 256;
+    luts = 433_200;
+    ffs = 866_400;
+    brams = 1_470;
+    tcam_bits = 1_000_000;
+    rx_queue_packets = 1024;
+    tx_queue_packets = 128;
+  }
+
+let small_target =
+  {
+    name = "small-target";
+    ports = 2;
+    clock_mhz = 125.0;
+    bus_bytes_per_cycle = 8;
+    max_parser_states = 8;
+    max_tables = 4;
+    max_table_entries = 16;
+    max_key_bits = 64;
+    luts = 53_200;
+    ffs = 106_400;
+    brams = 140;
+    tcam_bits = 50_000;
+    rx_queue_packets = 32;
+    tx_queue_packets = 64;
+  }
+
+let cycle_ns t = 1000.0 /. t.clock_mhz
+
+let line_rate_gbps t = float_of_int (t.bus_bytes_per_cycle * 8) /. cycle_ns t
+
+let port_rate_gbps t = line_rate_gbps t /. float_of_int t.ports
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>target %s: %d ports, %gB bus @@ %g MHz (%.1f Gb/s aggregate, %.1f Gb/s/port)@,\
+     limits: %d parser states, %d tables, %d entries/table, %d key bits@,\
+     budget: %d LUTs, %d FFs, %d BRAMs, %d TCAM bits@]"
+    t.name t.ports (float_of_int t.bus_bytes_per_cycle) t.clock_mhz (line_rate_gbps t)
+    (port_rate_gbps t) t.max_parser_states t.max_tables t.max_table_entries t.max_key_bits
+    t.luts t.ffs t.brams t.tcam_bits

@@ -1,0 +1,46 @@
+(** Static description of a hardware target: datapath geometry, clocking,
+    architectural limits the compiler enforces, and the resource budget
+    place-and-route checks against.
+
+    The timing model is fully determined by three numbers: the datapath bus
+    width in bytes per cycle, the clock (so aggregate line rate is
+    [bus * 8 / cycle_ns] Gb/s), and the port count (each physical port
+    serializes at [line_rate / ports] Gb/s). *)
+
+type t = {
+  name : string;
+  ports : int;  (** physical ports; egress outside [0, ports) never reaches a wire *)
+  clock_mhz : float;
+  bus_bytes_per_cycle : int;  (** datapath bus width *)
+  (* architectural limits enforced by the compiler *)
+  max_parser_states : int;
+  max_tables : int;
+  max_table_entries : int;
+  max_key_bits : int;
+  (* resource budget *)
+  luts : int;
+  ffs : int;
+  brams : int;  (** 36 kb block RAMs *)
+  tcam_bits : int;
+  (* interface buffering, in packets *)
+  rx_queue_packets : int;  (** shared pipeline input buffer *)
+  tx_queue_packets : int;  (** per-port output buffer *)
+}
+
+val netfpga_sume : t
+(** 4x10G NetFPGA-SUME-like target: 32 B bus at 200 MHz (51.2 Gb/s
+    aggregate, 12.8 Gb/s per port), Virtex-7-690T-like budget. *)
+
+val small_target : t
+(** A deliberately cramped target (Zynq-like) for exercising compile-time
+    limit rejection and queue overflow with small packet counts. *)
+
+val cycle_ns : t -> float
+
+val line_rate_gbps : t -> float
+(** Aggregate datapath rate: [bus_bytes_per_cycle * 8 / cycle_ns]. *)
+
+val port_rate_gbps : t -> float
+(** Per-port wire rate: [line_rate_gbps / ports]. *)
+
+val pp : Format.formatter -> t -> unit

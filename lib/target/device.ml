@@ -1,0 +1,435 @@
+module Ast = P4ir.Ast
+module Env = P4ir.Env
+module Exec = P4ir.Exec
+module Parse = P4ir.Parse
+module Deparse = P4ir.Deparse
+module Value = P4ir.Value
+module Runtime = P4ir.Runtime
+module Regstate = P4ir.Regstate
+module Stdmeta = P4ir.Stdmeta
+module Counter = Stats.Counter
+module Bitstring = Bitutil.Bitstring
+
+type source = External of int | Generator
+
+type output = {
+  o_port : int;
+  o_bits : Bitstring.t;
+  o_source : source;
+  o_in_time_ns : float;
+  o_out_time_ns : float;
+  o_wire_time_ns : float;
+}
+
+type disposition =
+  | Emitted of output
+  | Dropped_pipeline of string
+  | Dropped_queue
+  | Lost_in_stage of string
+
+type status = {
+  st_time_ns : float;
+  st_packets_in : int64;
+  st_packets_out : int64;
+  st_queue_drops : int64;
+  st_pipeline_drops : int64;
+  st_queue_depth : int;
+  st_stage_seen : (string * int64) list;
+}
+
+(* The internal generator sits after the input interfaces; its packets carry
+   a non-physical ingress port (one below the 511 drop port). *)
+let generator_port = 510
+
+exception Lost of string
+
+(* Per-stage runtime state. Counters are resolved once at device creation so
+   the hot path never formats a counter name. *)
+type stage_state = {
+  ss_name : string;
+  ss_seen : Counter.t;
+  ss_hit : Counter.t option;
+  ss_miss : Counter.t option;
+  ss_enter_ns : float;  (* latency from pipeline entry to this stage, for trace stamps *)
+  mutable ss_fault : Fault.t option;
+  mutable ss_fault_hits : int;
+}
+
+type t = {
+  pipeline : Pipeline.t;
+  config : Config.t;
+  runtime : Runtime.t;
+  regs : Regstate.t;
+  counters : Counter.Set.t;
+  trace : Trace.t;
+  env : Env.t;
+  ctx : Exec.ctx;
+  cycle_ns : float;
+  latency_ns : float;
+  stages : stage_state array;
+  ss_parser : stage_state;
+  ss_egress : stage_state;
+  ss_deparser : stage_state;
+  by_stage : (string, stage_state) Hashtbl.t;
+  faults_active : bool ref;
+  cur_id : int ref;
+  cur_entry : float ref;
+  mutable now : float;
+  mutable pipe_free : float;  (* when the bus finishes streaming the last packet in *)
+  rx_q : Ringq.t;
+  tx_q : Ringq.t array;
+  tx_free : float array;
+  broken : bool array;
+  mutable outs_rev : output list;
+  mutable check_tap : output -> unit;
+  mutable next_id : int;
+  c_rx_external : Counter.t;
+  c_rx_generator : Counter.t;
+  c_drop_queue : Counter.t;
+  c_drop_pipeline : Counter.t;
+  c_drop_fault : Counter.t;
+  c_emitted : Counter.t;
+  c_assert_failed : Counter.t;
+  c_txq_drop : Counter.t array;
+  prog_counters : (string, Counter.t) Hashtbl.t;
+}
+
+let corrupt env h f mask =
+  let cur = Env.get_field env h f in
+  Env.set_field env h f (Value.logxor cur (Value.make ~width:(Value.width cur) mask))
+
+(* Drop-class faults at stage entry; raising [Lost] unwinds the traversal. *)
+let fault_drop ss =
+  match ss.ss_fault with
+  | None | Some (Fault.Corrupt_field _) | Some Fault.Stuck_miss -> ()
+  | Some Fault.Drop_at_stage -> raise (Lost ss.ss_name)
+  | Some (Fault.Intermittent_drop n) ->
+      ss.ss_fault_hits <- ss.ss_fault_hits + 1;
+      if n > 0 && ss.ss_fault_hits mod n = 0 then raise (Lost ss.ss_name)
+
+let fault_corrupt env ss =
+  match ss.ss_fault with
+  | Some (Fault.Corrupt_field (h, f, mask)) -> corrupt env h f mask
+  | _ -> ()
+
+let fault_at env ss =
+  fault_drop ss;
+  fault_corrupt env ss
+
+let create (pipeline : Pipeline.t) =
+  let config = pipeline.Pipeline.config in
+  let program = pipeline.Pipeline.program in
+  let cycle_ns = Config.cycle_ns config in
+  let counters = Counter.Set.create () in
+  let trace = Trace.create () in
+  let runtime = Runtime.create () in
+  let env = Env.create program in
+  let regs = Regstate.create program in
+  let offset = ref 0 in
+  let stages =
+    List.map
+      (fun (s : Pipeline.stage) ->
+        let enter_ns = float_of_int !offset *. cycle_ns in
+        offset := !offset + s.Pipeline.s_latency_cycles;
+        let counter suffix = Counter.Set.find counters ("stage/" ^ s.Pipeline.s_name ^ suffix) in
+        let hit, miss =
+          match s.Pipeline.s_kind with
+          | Pipeline.Match_action _ -> (Some (counter "/hit"), Some (counter "/miss"))
+          | Pipeline.Parser_engine | Pipeline.Egress_engine | Pipeline.Deparser_engine ->
+              (None, None)
+        in
+        {
+          ss_name = s.Pipeline.s_name;
+          ss_seen = counter "/seen";
+          ss_hit = hit;
+          ss_miss = miss;
+          ss_enter_ns = enter_ns;
+          ss_fault = None;
+          ss_fault_hits = 0;
+        })
+      pipeline.Pipeline.stages
+    |> Array.of_list
+  in
+  let by_stage = Hashtbl.create 8 in
+  Array.iter (fun ss -> Hashtbl.replace by_stage ss.ss_name ss) stages;
+  let by_table = Hashtbl.create 8 in
+  List.iteri
+    (fun i (s : Pipeline.stage) ->
+      match s.Pipeline.s_kind with
+      | Pipeline.Match_action tbl -> Hashtbl.replace by_table tbl stages.(i)
+      | _ -> ())
+    pipeline.Pipeline.stages;
+  let find_stage name =
+    match Hashtbl.find_opt by_stage name with
+    | Some ss -> ss
+    | None -> invalid_arg ("Device.create: pipeline has no " ^ name ^ " stage")
+  in
+  let faults_active = ref false in
+  let cur_id = ref 0 in
+  let cur_entry = ref 0.0 in
+  let on_table ~table ~hit ~action =
+    match Hashtbl.find_opt by_table table with
+    | None -> ()
+    | Some ss ->
+        Counter.incr ss.ss_seen;
+        (match (if hit then ss.ss_hit else ss.ss_miss) with
+        | Some c -> Counter.incr c
+        | None -> ());
+        Trace.record trace ~packet_id:!cur_id
+          ~time_ns:(!cur_entry +. ss.ss_enter_ns)
+          ~component:ss.ss_name
+          (if hit then action else "miss");
+        if !faults_active then fault_at env ss
+  in
+  let prog_counters = Hashtbl.create 8 in
+  let on_count name =
+    let c =
+      match Hashtbl.find_opt prog_counters name with
+      | Some c -> c
+      | None ->
+          let c = Counter.Set.find counters ("prog/" ^ name) in
+          Hashtbl.add prog_counters name c;
+          c
+    in
+    Counter.incr c
+  in
+  let c_assert_failed = Counter.Set.find counters "assert/failed" in
+  let on_assert ok _msg = if not ok then Counter.incr c_assert_failed in
+  let base_hooks = pipeline.Pipeline.exec_hooks in
+  let table_always_miss tbl =
+    base_hooks.Exec.table_always_miss tbl
+    || !faults_active
+       &&
+       match Hashtbl.find_opt by_table tbl with
+       | Some { ss_fault = Some Fault.Stuck_miss; _ } -> true
+       | _ -> false
+  in
+  let hooks = { base_hooks with Exec.table_always_miss } in
+  let ctx = Exec.make_ctx ~hooks ~on_count ~on_assert ~on_table ~regs ~env ~runtime () in
+  {
+    pipeline;
+    config;
+    runtime;
+    regs;
+    counters;
+    trace;
+    env;
+    ctx;
+    cycle_ns;
+    latency_ns = float_of_int (Pipeline.total_latency_cycles pipeline) *. cycle_ns;
+    stages;
+    ss_parser = find_stage "parser";
+    ss_egress = find_stage "egress";
+    ss_deparser = find_stage "deparser";
+    by_stage;
+    faults_active;
+    cur_id;
+    cur_entry;
+    now = 0.0;
+    pipe_free = 0.0;
+    rx_q = Ringq.create config.Config.rx_queue_packets;
+    tx_q = Array.init config.Config.ports (fun _ -> Ringq.create config.Config.tx_queue_packets);
+    tx_free = Array.make config.Config.ports 0.0;
+    broken = Array.make config.Config.ports false;
+    outs_rev = [];
+    check_tap = ignore;
+    next_id = 0;
+    c_rx_external = Counter.Set.find counters "rx/external";
+    c_rx_generator = Counter.Set.find counters "rx/generator";
+    c_drop_queue = Counter.Set.find counters "drop/queue";
+    c_drop_pipeline = Counter.Set.find counters "drop/pipeline";
+    c_drop_fault = Counter.Set.find counters "drop/fault";
+    c_emitted = Counter.Set.find counters "tx/emitted";
+    c_assert_failed;
+    c_txq_drop =
+      Array.init config.Config.ports (fun p ->
+          Counter.Set.find counters (Printf.sprintf "drop/txq%d" p));
+    prog_counters;
+  }
+
+let pipeline t = t.pipeline
+let config t = t.config
+let runtime t = t.runtime
+let registers t = t.regs
+let counters t = t.counters
+let trace t = t.trace
+let now_ns t = t.now
+
+let set_check_tap t f = t.check_tap <- f
+
+let set_port_broken t port broken =
+  if port < 0 || port >= t.config.Config.ports then
+    invalid_arg (Printf.sprintf "Device.set_port_broken: no port %d" port);
+  t.broken.(port) <- broken
+
+let inject_fault t ~stage fault =
+  match Hashtbl.find_opt t.by_stage stage with
+  | None -> invalid_arg ("Device.inject_fault: unknown stage " ^ stage)
+  | Some ss ->
+      ss.ss_fault <- Some fault;
+      ss.ss_fault_hits <- 0;
+      t.faults_active := true
+
+let clear_faults t =
+  Array.iter
+    (fun ss ->
+      ss.ss_fault <- None;
+      ss.ss_fault_hits <- 0)
+    t.stages;
+  t.faults_active := false
+
+(* Emission: the check tap observes everything that left the pipeline; only
+   packets bound for a healthy physical port with TX buffer room go on to
+   the wire (and into [outputs]). *)
+let emit t ~source ~arrival ~out_time ~port bits =
+  Counter.incr t.c_emitted;
+  let out =
+    {
+      o_port = port;
+      o_bits = bits;
+      o_source = source;
+      o_in_time_ns = arrival;
+      o_out_time_ns = out_time;
+      o_wire_time_ns = out_time;
+    }
+  in
+  t.check_tap out;
+  if port >= 0 && port < t.config.Config.ports && not t.broken.(port) then begin
+    let q = t.tx_q.(port) in
+    ignore (Ringq.drop_leq q out_time);
+    if Ringq.is_full q then Counter.incr t.c_txq_drop.(port)
+    else begin
+      let bytes = (Bitstring.length bits + 7) / 8 in
+      let ser = float_of_int bytes /. (Config.port_rate_gbps t.config /. 8.0) in
+      let start = if t.tx_free.(port) > out_time then t.tx_free.(port) else out_time in
+      let wire = start +. ser in
+      t.tx_free.(port) <- wire;
+      ignore (Ringq.push q wire);
+      t.outs_rev <- { out with o_wire_time_ns = wire } :: t.outs_rev
+    end
+  end;
+  Emitted out
+
+let run_pipeline t ~source ~id ~arrival ~entry_done bits =
+  let env = t.env and ctx = t.ctx in
+  let program = t.pipeline.Pipeline.program in
+  Env.reset env;
+  Env.set_std env Ast.Ingress_port
+    (Value.of_int ~width:9 (match source with External p -> p | Generator -> generator_port));
+  t.cur_id := id;
+  t.cur_entry := entry_done;
+  try
+    let ps = t.ss_parser in
+    Counter.incr ps.ss_seen;
+    if !(t.faults_active) then fault_drop ps;
+    let outcome = Parse.run ~hooks:t.pipeline.Pipeline.parse_hooks ctx bits in
+    Trace.record t.trace ~packet_id:id
+      ~time_ns:(entry_done +. ps.ss_enter_ns)
+      ~component:ps.ss_name
+      (if outcome.Parse.accepted then "accept" else "reject");
+    if !(t.faults_active) then fault_corrupt env ps;
+    if not outcome.Parse.accepted then begin
+      Counter.incr t.c_drop_pipeline;
+      Dropped_pipeline ("parser:" ^ Stdmeta.error_name outcome.Parse.error)
+    end
+    else begin
+      Exec.set_phase ctx Exec.Ingress;
+      Exec.run_stmts ctx program.Ast.p_ingress;
+      if Env.dropped env then begin
+        Counter.incr t.c_drop_pipeline;
+        Dropped_pipeline "ingress"
+      end
+      else begin
+        let es = t.ss_egress in
+        Counter.incr es.ss_seen;
+        Trace.record t.trace ~packet_id:id
+          ~time_ns:(entry_done +. es.ss_enter_ns)
+          ~component:es.ss_name "enter";
+        if !(t.faults_active) then fault_at env es;
+        Exec.set_phase ctx Exec.Egress;
+        Exec.run_stmts ctx program.Ast.p_egress;
+        if Env.dropped env then begin
+          Counter.incr t.c_drop_pipeline;
+          Dropped_pipeline "egress"
+        end
+        else begin
+          let ds = t.ss_deparser in
+          Counter.incr ds.ss_seen;
+          Trace.record t.trace ~packet_id:id
+            ~time_ns:(entry_done +. ds.ss_enter_ns)
+            ~component:ds.ss_name "emit";
+          if !(t.faults_active) then fault_at env ds;
+          let out_bits =
+            Deparse.run ~update_ipv4_checksum:t.pipeline.Pipeline.update_ipv4_checksum env
+          in
+          let port = Value.to_int (Env.get_std env Ast.Egress_spec) in
+          emit t ~source ~arrival ~out_time:(entry_done +. t.latency_ns) ~port out_bits
+        end
+      end
+    end
+  with Lost stage ->
+    Counter.incr t.c_drop_fault;
+    Trace.record t.trace ~packet_id:id ~severity:Trace.Warn ~time_ns:entry_done
+      ~component:stage "fault-drop";
+    Lost_in_stage stage
+
+let inject t ~source ?at_ns bits =
+  let arrival =
+    match at_ns with
+    | Some a -> if a > t.now then a else t.now
+    (* no timestamp: arrive back-to-back, the moment the pipeline can take it *)
+    | None -> if t.pipe_free > t.now then t.pipe_free else t.now
+  in
+  t.now <- arrival;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  (match source with
+  | External _ -> Counter.incr t.c_rx_external
+  | Generator -> Counter.incr t.c_rx_generator);
+  Trace.record t.trace ~packet_id:id ~time_ns:arrival ~component:"rx"
+    (match source with External _ -> "external" | Generator -> "generator");
+  ignore (Ringq.drop_leq t.rx_q arrival);
+  if Ringq.is_full t.rx_q then begin
+    Counter.incr t.c_drop_queue;
+    Trace.record t.trace ~packet_id:id ~severity:Trace.Warn ~time_ns:arrival ~component:"rxq"
+      "tail-drop";
+    (id, Dropped_queue)
+  end
+  else begin
+    let bytes = (Bitstring.length bits + 7) / 8 in
+    let bus = t.config.Config.bus_bytes_per_cycle in
+    let ser_cycles = (bytes + bus - 1) / bus in
+    let start = if t.pipe_free > arrival then t.pipe_free else arrival in
+    let entry_done = start +. (float_of_int ser_cycles *. t.cycle_ns) in
+    t.pipe_free <- entry_done;
+    ignore (Ringq.push t.rx_q entry_done);
+    (id, run_pipeline t ~source ~id ~arrival ~entry_done bits)
+  end
+
+let advance_to_ns t ns =
+  if ns > t.now then t.now <- ns;
+  ignore (Ringq.drop_leq t.rx_q t.now);
+  Array.iter (fun q -> ignore (Ringq.drop_leq q t.now)) t.tx_q
+
+let outputs t =
+  let outs = List.rev t.outs_rev in
+  t.outs_rev <- [];
+  outs
+
+let status t =
+  ignore (Ringq.drop_leq t.rx_q t.now);
+  Array.iter (fun q -> ignore (Ringq.drop_leq q t.now)) t.tx_q;
+  let depth = Array.fold_left (fun acc q -> acc + Ringq.length q) (Ringq.length t.rx_q) t.tx_q in
+  let tx_drops =
+    Array.fold_left (fun acc c -> Int64.add acc (Counter.get c)) 0L t.c_txq_drop
+  in
+  {
+    st_time_ns = t.now;
+    st_packets_in = Int64.add (Counter.get t.c_rx_external) (Counter.get t.c_rx_generator);
+    st_packets_out = Counter.get t.c_emitted;
+    st_queue_drops = Int64.add (Counter.get t.c_drop_queue) tx_drops;
+    st_pipeline_drops = Counter.get t.c_drop_pipeline;
+    st_queue_depth = depth;
+    st_stage_seen =
+      Array.to_list (Array.map (fun ss -> (ss.ss_name, Counter.get ss.ss_seen)) t.stages);
+  }

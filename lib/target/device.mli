@@ -1,0 +1,97 @@
+(** An instantiated {!Pipeline}: runtime table state, persistent registers,
+    interface queues, counters, a bounded event trace, and a virtual clock.
+
+    The clock is event-driven — there is no per-cycle ticking anywhere.
+    Each packet's pipeline-exit time is computed analytically at injection:
+
+      entry  = max(arrival, pipeline_free) + ceil(bytes / bus) * cycle_ns
+      exit   = entry + total_latency_cycles * cycle_ns
+      wire   = max(exit, port_free) + bytes * 8 / port_rate_gbps
+
+    so {!advance_to_ns} merely drains queue entries whose deadline has
+    passed, in O(queued packets) however far time jumps.
+
+    Structural fidelity to the NetDebug architecture: injection happens
+    after the input interfaces ({!source} records whether a packet came
+    from a physical port or the internal generator), the check tap
+    observes every emission before the output interfaces (including
+    egress to non-physical or broken ports), and {!outputs} returns only
+    what actually reached a wire. *)
+
+type source = External of int | Generator
+
+type output = {
+  o_port : int;  (** egress_spec as the pipeline computed it *)
+  o_bits : Bitutil.Bitstring.t;
+  o_source : source;
+  o_in_time_ns : float;  (** arrival at the device *)
+  o_out_time_ns : float;  (** pipeline exit — when the check tap sees it *)
+  o_wire_time_ns : float;  (** last bit on the wire, after TX serialization *)
+}
+
+type disposition =
+  | Emitted of output  (** reached the check point (not necessarily a wire) *)
+  | Dropped_pipeline of string  (** program semantics: "parser:<err>", "ingress", "egress" *)
+  | Dropped_queue  (** tail-dropped at the full input buffer *)
+  | Lost_in_stage of string  (** swallowed by an injected fault *)
+
+type status = {
+  st_time_ns : float;
+  st_packets_in : int64;
+  st_packets_out : int64;  (** emissions seen at the check point *)
+  st_queue_drops : int64;  (** input-buffer and TX tail drops *)
+  st_pipeline_drops : int64;
+  st_queue_depth : int;  (** packets currently buffered, all queues *)
+  st_stage_seen : (string * int64) list;
+}
+
+type t
+
+val create : Pipeline.t -> t
+
+val pipeline : t -> Pipeline.t
+
+val config : t -> Config.t
+
+val runtime : t -> P4ir.Runtime.t
+(** Table state; install entries here. *)
+
+val registers : t -> P4ir.Regstate.t
+(** Persistent register state (survives across packets). *)
+
+val counters : t -> Stats.Counter.Set.t
+(** "rx/external", "rx/generator", "drop/queue", "drop/txq<p>",
+    "stage/<name>/seen" (+ "/hit", "/miss" on match-action stages), … *)
+
+val trace : t -> Trace.t
+
+val now_ns : t -> float
+
+val inject : t -> source:source -> ?at_ns:float -> Bitutil.Bitstring.t -> int * disposition
+(** Run one packet through the device; returns its trace id and fate.
+    [at_ns] below the current clock is clamped to it; when omitted the
+    packet arrives back-to-back, i.e. the moment the pipeline can accept
+    it (the clock advances, nothing queues). *)
+
+val advance_to_ns : t -> float -> unit
+(** Move the clock forward (never backward) and drain departed queue
+    entries. Idempotent at a fixed timestamp. *)
+
+val outputs : t -> output list
+(** Packets that reached a wire since the last call, oldest first, with
+    [o_wire_time_ns] stamped. Drains. *)
+
+val set_check_tap : t -> (output -> unit) -> unit
+(** Observer between pipeline exit and the output interfaces. *)
+
+val set_port_broken : t -> int -> bool -> unit
+(** A broken port emits nothing externally; the check tap still sees the
+    traffic — the asymmetry NetDebug's self-check exploits. *)
+
+val inject_fault : t -> stage:string -> Fault.t -> unit
+(** Install a fault at a named stage (replacing any previous one there).
+    @raise Invalid_argument for a stage the pipeline does not have. *)
+
+val clear_faults : t -> unit
+
+val status : t -> status

@@ -1,0 +1,11 @@
+type t =
+  | Stuck_miss
+  | Drop_at_stage
+  | Intermittent_drop of int
+  | Corrupt_field of string * string * int64
+
+let pp ppf = function
+  | Stuck_miss -> Format.pp_print_string ppf "stuck-miss"
+  | Drop_at_stage -> Format.pp_print_string ppf "drop-at-stage"
+  | Intermittent_drop n -> Format.fprintf ppf "intermittent-drop(%d)" n
+  | Corrupt_field (h, f, mask) -> Format.fprintf ppf "corrupt(%s.%s^0x%Lx)" h f mask

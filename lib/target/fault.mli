@@ -1,0 +1,15 @@
+(** Hardware fault models injectable into a running {!Device} at a named
+    stage — the ground truth NetDebug's localization use-case recovers. *)
+
+type t =
+  | Stuck_miss
+      (** lookup memory returns no match for any key: the table falls
+          through to its default action on every packet *)
+  | Drop_at_stage  (** the stage silently swallows every packet *)
+  | Intermittent_drop of int
+      (** every [n]-th packet traversing the stage is swallowed *)
+  | Corrupt_field of string * string * int64
+      (** [(header, field, mask)]: the field is XORed with [mask] as the
+          packet enters the stage *)
+
+val pp : Format.formatter -> t -> unit

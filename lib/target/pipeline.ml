@@ -1,0 +1,41 @@
+type stage_kind =
+  | Parser_engine
+  | Match_action of string
+  | Egress_engine
+  | Deparser_engine
+
+type stage = {
+  s_name : string;
+  s_kind : stage_kind;
+  s_latency_cycles : int;
+  s_resources : Resource.t;
+}
+
+type t = {
+  program : P4ir.Ast.program;
+  config : Config.t;
+  parse_hooks : P4ir.Parse.hooks;
+  exec_hooks : P4ir.Exec.hooks;
+  update_ipv4_checksum : bool;
+  stages : stage list;
+  resources : Resource.t;
+}
+
+let make ~program ~config ~parse_hooks ~exec_hooks ~update_ipv4_checksum ~stages ~resources =
+  { program; config; parse_hooks; exec_hooks; update_ipv4_checksum; stages; resources }
+
+let stage_names t = List.map (fun s -> s.s_name) t.stages
+
+let total_latency_cycles t =
+  List.fold_left (fun acc s -> acc + s.s_latency_cycles) 0 t.stages
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>pipeline %s on %s (%d cycles, %.1f ns):@,"
+    t.program.P4ir.Ast.p_name t.config.Config.name (total_latency_cycles t)
+    (float_of_int (total_latency_cycles t) *. Config.cycle_ns t.config);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-16s %2d cycles  %a@," s.s_name s.s_latency_cycles Resource.pp
+        s.s_resources)
+    t.stages;
+  Format.fprintf ppf "total: %a@]" Resource.pp t.resources

@@ -1,0 +1,36 @@
+type t = { luts : int; ffs : int; brams : int; tcam_bits : int }
+
+let make ?(luts = 0) ?(ffs = 0) ?(brams = 0) ?(tcam_bits = 0) () =
+  { luts; ffs; brams; tcam_bits }
+
+let zero = make ()
+
+let add a b =
+  {
+    luts = a.luts + b.luts;
+    ffs = a.ffs + b.ffs;
+    brams = a.brams + b.brams;
+    tcam_bits = a.tcam_bits + b.tcam_bits;
+  }
+
+let sum l = List.fold_left add zero l
+
+let fits r (c : Config.t) =
+  r.luts <= c.Config.luts && r.ffs <= c.Config.ffs && r.brams <= c.Config.brams
+  && r.tcam_bits <= c.Config.tcam_bits
+
+let pct used budget =
+  if budget <= 0 then if used = 0 then 0.0 else infinity
+  else 100.0 *. float_of_int used /. float_of_int budget
+
+let utilization r (c : Config.t) =
+  [
+    ("LUT", pct r.luts c.Config.luts);
+    ("FF", pct r.ffs c.Config.ffs);
+    ("BRAM", pct r.brams c.Config.brams);
+    ("TCAM", pct r.tcam_bits c.Config.tcam_bits);
+  ]
+
+let pp ppf r =
+  Format.fprintf ppf "%d LUTs, %d FFs, %d BRAMs, %d TCAM bits" r.luts r.ffs r.brams
+    r.tcam_bits

@@ -1,0 +1,50 @@
+type t = { buf : float array; mutable head : int; mutable len : int }
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Ringq.create: capacity must be positive";
+  { buf = Array.make capacity 0.0; head = 0; len = 0 }
+
+let capacity t = Array.length t.buf
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let is_full t = t.len = Array.length t.buf
+
+let push t v =
+  let cap = Array.length t.buf in
+  if t.len = cap then false
+  else begin
+    let tail = t.head + t.len in
+    t.buf.(if tail >= cap then tail - cap else tail) <- v;
+    t.len <- t.len + 1;
+    true
+  end
+
+let peek t =
+  if t.len = 0 then invalid_arg "Ringq.peek: empty";
+  t.buf.(t.head)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Ringq.pop: empty";
+  let v = t.buf.(t.head) in
+  let h = t.head + 1 in
+  t.head <- (if h = Array.length t.buf then 0 else h);
+  t.len <- t.len - 1;
+  v
+
+let drop_leq t deadline =
+  let cap = Array.length t.buf in
+  let n = ref 0 in
+  while t.len > 0 && t.buf.(t.head) <= deadline do
+    let h = t.head + 1 in
+    t.head <- (if h = cap then 0 else h);
+    t.len <- t.len - 1;
+    incr n
+  done;
+  !n
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

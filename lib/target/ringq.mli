@@ -1,0 +1,36 @@
+(** Fixed-capacity FIFO of timestamps, the building block of the device's
+    interface queues.
+
+    Backed by a flat float array (no boxing, no allocation after [create]),
+    so occupancy checks and drains on the packet hot path cost a few loads.
+    Callers push monotonically non-decreasing departure deadlines; a full
+    queue refuses the push (tail drop). *)
+
+type t
+
+val create : int -> t
+(** [create capacity]. @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val is_full : t -> bool
+
+val push : t -> float -> bool
+(** Enqueue at the tail; [false] (and no change) when full. *)
+
+val peek : t -> float
+(** Oldest element. @raise Invalid_argument when empty. *)
+
+val pop : t -> float
+(** Dequeue the oldest element. @raise Invalid_argument when empty. *)
+
+val drop_leq : t -> float -> int
+(** Pop every leading element [<= deadline]; returns how many were popped.
+    With monotone contents this drains precisely the entries that have
+    departed by [deadline], in O(popped). *)
+
+val clear : t -> unit

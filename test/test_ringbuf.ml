@@ -1,0 +1,164 @@
+(* Tests for the fixed-capacity timestamp ring buffer behind the device's
+   interface queues, and the virtual-clock properties built on it. *)
+
+module Ringq = Target.Ringq
+module Device = Target.Device
+module Programs = P4ir.Programs
+module Runtime = P4ir.Runtime
+module Quirks = Sdnet.Quirks
+module Compile = Sdnet.Compile
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.0))
+
+(* ---------------- ring buffer unit tests ---------------- *)
+
+let test_wraparound () =
+  let q = Ringq.create 4 in
+  (* march head and tail several times around the 4-slot array *)
+  for round = 0 to 9 do
+    let base = float_of_int (round * 10) in
+    check_bool "push a" true (Ringq.push q (base +. 1.0));
+    check_bool "push b" true (Ringq.push q (base +. 2.0));
+    check_float "fifo a" (base +. 1.0) (Ringq.pop q);
+    check_bool "push c" true (Ringq.push q (base +. 3.0));
+    check_float "fifo b" (base +. 2.0) (Ringq.pop q);
+    check_float "fifo c" (base +. 3.0) (Ringq.pop q)
+  done;
+  check_int "empty at the end" 0 (Ringq.length q)
+
+let test_overflow_tail_drop () =
+  let q = Ringq.create 2 in
+  check_bool "first" true (Ringq.push q 1.0);
+  check_bool "second" true (Ringq.push q 2.0);
+  check_bool "full" true (Ringq.is_full q);
+  check_bool "third refused" false (Ringq.push q 3.0);
+  check_int "still two" 2 (Ringq.length q);
+  check_float "head untouched" 1.0 (Ringq.peek q);
+  check_float "order kept" 1.0 (Ringq.pop q);
+  check_float "order kept" 2.0 (Ringq.pop q)
+
+let test_drain_to_empty () =
+  let q = Ringq.create 8 in
+  List.iter (fun v -> ignore (Ringq.push q v)) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "partial drain" 3 (Ringq.drop_leq q 3.0);
+  check_int "two left" 2 (Ringq.length q);
+  check_float "head is 4" 4.0 (Ringq.peek q);
+  check_int "full drain" 2 (Ringq.drop_leq q 1e18);
+  check_bool "empty" true (Ringq.is_empty q);
+  check_int "drain of empty is a no-op" 0 (Ringq.drop_leq q 1e18)
+
+let test_empty_and_bounds () =
+  (try
+     ignore (Ringq.create 0);
+     Alcotest.fail "capacity 0 accepted"
+   with Invalid_argument _ -> ());
+  let q = Ringq.create 3 in
+  (try
+     ignore (Ringq.pop q);
+     Alcotest.fail "pop of empty succeeded"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Ringq.peek q);
+     Alcotest.fail "peek of empty succeeded"
+   with Invalid_argument _ -> ());
+  ignore (Ringq.push q 1.0);
+  Ringq.clear q;
+  check_int "cleared" 0 (Ringq.length q);
+  check_int "capacity" 3 (Ringq.capacity q)
+
+(* model-based property: the ring behaves like a bounded FIFO queue *)
+let prop_model =
+  QCheck.Test.make ~count:300 ~name:"ringbuf == bounded FIFO model"
+    QCheck.(pair (int_range 1 8) (small_list (int_bound 299)))
+    (fun (cap, ops) ->
+      let q = Ringq.create cap in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          let v = float_of_int op in
+          match op mod 3 with
+          | 0 ->
+              let accepted = Ringq.push q v in
+              let model_accepted = Queue.length model < cap in
+              if model_accepted then Queue.push v model;
+              accepted = model_accepted && Ringq.length q = Queue.length model
+          | 1 ->
+              if Queue.is_empty model then Ringq.is_empty q
+              else Ringq.pop q = Queue.pop model
+          | _ ->
+              let deadline = v /. 2.0 in
+              let expect = ref 0 in
+              while (not (Queue.is_empty model)) && Queue.peek model <= deadline do
+                ignore (Queue.pop model);
+                incr expect
+              done;
+              Ringq.drop_leq q deadline = !expect && Ringq.length q = Queue.length model)
+        ops)
+
+(* ---------------- device virtual-clock properties ---------------- *)
+
+let build (b : Programs.bundle) =
+  let report = Compile.compile_exn ~quirks:Quirks.none b.Programs.program in
+  let d = Device.create report.Compile.pipeline in
+  (match Runtime.install_all b.Programs.program (Device.runtime d) b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  d
+
+let probe = Packet.serialize (Packet.udp_ipv4 ~dst:0x0A000001L ())
+
+(* advance_to_ns never moves time backward, and re-advancing to the same
+   timestamp changes nothing observable *)
+let prop_advance_monotone_idempotent =
+  QCheck.Test.make ~count:60 ~name:"advance_to_ns is monotone and idempotent"
+    QCheck.(small_list (int_bound 1000))
+    (fun steps ->
+      let d = build Programs.basic_router in
+      for _ = 1 to 50 do
+        ignore (Device.inject d ~source:(Device.External 0) ~at_ns:0.0 probe)
+      done;
+      List.for_all
+        (fun step ->
+          let before = Device.now_ns d in
+          let target = float_of_int step *. 11.0 in
+          Device.advance_to_ns d target;
+          let t1 = Device.now_ns d in
+          let s1 = Device.status d in
+          Device.advance_to_ns d target;
+          let s2 = Device.status d in
+          Device.advance_to_ns d 0.0;
+          let s3 = Device.status d in
+          t1 = Float.max before target && s1 = s2 && s2 = s3)
+        steps)
+
+(* the event-driven drain: a huge time jump costs O(queued), not O(cycles) *)
+let test_advance_far_is_cheap () =
+  let d = build Programs.basic_router in
+  for _ = 1 to 10_000 do
+    ignore (Device.inject d ~source:(Device.External 0) ~at_ns:0.0 probe)
+  done;
+  let t0 = Sys.time () in
+  Device.advance_to_ns d 1e9;
+  let elapsed = Sys.time () -. t0 in
+  check_bool "advance over 10^9 ns finishes instantly" true (elapsed < 1.0);
+  check_int "all queues drained" 0 (Device.status d).Device.st_queue_depth
+
+let () =
+  Alcotest.run "ringbuf"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "wrap-around" `Quick test_wraparound;
+          Alcotest.test_case "overflow tail-drop" `Quick test_overflow_tail_drop;
+          Alcotest.test_case "drain to empty" `Quick test_drain_to_empty;
+          Alcotest.test_case "bounds" `Quick test_empty_and_bounds;
+          QCheck_alcotest.to_alcotest prop_model;
+        ] );
+      ( "clock",
+        [
+          QCheck_alcotest.to_alcotest prop_advance_monotone_idempotent;
+          Alcotest.test_case "far advance is O(queued)" `Quick test_advance_far_is_cheap;
+        ] );
+    ]
