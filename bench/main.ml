@@ -6,21 +6,26 @@
      dune exec bench/main.exe -- --no-micro          — experiments only
      dune exec bench/main.exe -- micro --json FILE   — also write microbench
                                                        results as JSON
+     dune exec bench/main.exe -- micro --check-overhead
+                                                     — fail if full span
+                                                       sampling (B11) costs
+                                                       >10% over B1
 *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse json wanted no_micro list = function
-    | [] -> (json, List.rev wanted, no_micro, list)
-    | "--json" :: file :: rest -> parse (Some file) wanted no_micro list rest
+  let rec parse json wanted no_micro list gate = function
+    | [] -> (json, List.rev wanted, no_micro, list, gate)
+    | "--json" :: file :: rest -> parse (Some file) wanted no_micro list gate rest
     | [ "--json" ] ->
         prerr_endline "--json needs a file argument";
         exit 2
-    | "--list" :: rest -> parse json wanted no_micro true rest
-    | "--no-micro" :: rest -> parse json wanted true list rest
-    | a :: rest -> parse json (a :: wanted) no_micro list rest
+    | "--list" :: rest -> parse json wanted no_micro true gate rest
+    | "--no-micro" :: rest -> parse json wanted true list gate rest
+    | "--check-overhead" :: rest -> parse json wanted no_micro list true rest
+    | a :: rest -> parse json (a :: wanted) no_micro list gate rest
   in
-  let json, wanted, no_micro, list = parse None [] false false args in
+  let json, wanted, no_micro, list, check_overhead = parse None [] false false false args in
   if list then begin
     List.iter (fun (name, _) -> print_endline name) Experiments.all;
     print_endline "micro"
@@ -33,6 +38,6 @@ let () =
     in
     Format.printf "NetDebug experiment reproduction (simulated NetFPGA-SUME / SDNet)@.";
     List.iter (fun (_, f) -> f ()) selected;
-    if run_micro then Microbench.run ?json ();
+    if run_micro then Microbench.run ?json ~check_overhead ();
     Format.printf "@.done.@."
   end

@@ -145,11 +145,29 @@ let b10_wire_roundtrip =
          | Ok _ -> ()
          | Error e -> failwith e))
 
+(* B11/B11b: B1 with the span store fully on / at the default 1-in-64
+   sampling. The CI overhead gate compares B11 against B1 by exact row
+   name (never by prefix — "B11..." starts with "B1"). *)
+let b11_device_forward_spans =
+  let d = make_device () in
+  let () = Device.set_span_sampling d 1 in
+  Test.make ~name:"B11 device: forward one packet, spans 1/1"
+    (Staged.stage (fun () ->
+         ignore (Device.inject d ~source:(Device.External 0) routed_probe)))
+
+let b11b_device_forward_spans_sampled =
+  let d = make_device () in
+  let () = Device.set_span_sampling d 64 in
+  Test.make ~name:"B11b device: forward one packet, spans 1/64"
+    (Staged.stage (fun () ->
+         ignore (Device.inject d ~source:(Device.External 0) routed_probe)))
+
 let tests =
   Test.make_grouped ~name:"netdebug"
     [
       b1_device_forward; b2_interp_forward; b3_generator; b4_checker_rule; b5_lpm_lookup;
       b6_symexec; b7_compile; b8_checksum; b9_kv_get; b10_wire_roundtrip;
+      b11_device_forward_spans; b11b_device_forward_spans_sampled;
     ]
 
 (* per-operation estimate of one measure for one test, if the OLS converged *)
@@ -188,7 +206,30 @@ let write_json file rows =
   close_out oc;
   Format.printf "microbench results written to %s@." file
 
-let run ?json () =
+(* Telemetry-overhead regression gate: fully-spanned forwarding (B11) must
+   stay within [max_ratio] of the baseline (B1). Exact-name lookup. *)
+let check_overhead_gate ?(max_ratio = 1.10) rows =
+  let find name =
+    List.find_opt (fun (n, _, _) -> String.equal n name) rows
+  in
+  match
+    ( find "netdebug/B1 device: forward one packet",
+      find "netdebug/B11 device: forward one packet, spans 1/1" )
+  with
+  | Some (_, Some b1, _), Some (_, Some b11, _) when b1 > 0.0 ->
+      let ratio = b11 /. b1 in
+      Format.printf "telemetry overhead gate: B11/B1 = %.3f (limit %.2f)@." ratio max_ratio;
+      if ratio > max_ratio then begin
+        Format.eprintf "FAIL: full span sampling costs %.1f%% over baseline (limit %.0f%%)@."
+          ((ratio -. 1.0) *. 100.0)
+          ((max_ratio -. 1.0) *. 100.0);
+        exit 1
+      end
+  | _ ->
+      Format.eprintf "FAIL: overhead gate needs B1 and B11 estimates in the results@.";
+      exit 1
+
+let run ?json ?(check_overhead = false) () =
   Format.printf "@.==== Microbenchmarks (Bechamel) ====@.@.";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -222,4 +263,5 @@ let run ?json () =
       Stats.Texttable.add_row table [ name; cell ns; cell allocs ])
     rows;
   Format.printf "%s@." (Stats.Texttable.render table);
-  match json with None -> () | Some file -> write_json file rows
+  (match json with None -> () | Some file -> write_json file rows);
+  if check_overhead then check_overhead_gate rows

@@ -9,6 +9,8 @@
      validate PROGRAM        NetDebug functional validation on the device
      localize PROGRAM        inject a fault and localize it
      journey PROGRAM         stage-by-stage trace of one packet
+     trace PROGRAM           run validation traffic, export per-packet spans
+     metrics PROGRAM         run validation traffic, print Prometheus metrics
      usecases                run the seven use-cases and summarize
 *)
 
@@ -161,10 +163,33 @@ let verify_cmd =
        ~doc:"Run the software formal-verification battery on the specification")
     Term.(const run $ program_arg)
 
+(* span tree printer shared by journey/trace: indent children under their
+   parent; orphans (parent evicted from the ring) print as roots *)
+let print_span_tree ppf spans =
+  let module Span = Telemetry.Span in
+  let present = Hashtbl.create 16 in
+  List.iter (fun sp -> Hashtbl.replace present sp.Span.sp_id ()) spans;
+  let rec pp indent sp =
+    Format.fprintf ppf "%s%-20s %10.1f .. %-10.1f%s%s%s@." indent sp.Span.sp_name
+      sp.Span.sp_start_ns sp.Span.sp_end_ns
+      (match sp.Span.sp_note with Some n -> " (" ^ n ^ ")" | None -> "")
+      (if sp.Span.sp_drop then " [drop]" else "")
+      (if sp.Span.sp_fault then " [fault]" else "");
+    List.iter
+      (fun c -> if c.Span.sp_parent = sp.Span.sp_id && c.Span.sp_id <> sp.Span.sp_id then
+          pp (indent ^ "  ") c)
+      spans
+  in
+  List.iter
+    (fun sp ->
+      if sp.Span.sp_parent < 0 || not (Hashtbl.mem present sp.Span.sp_parent) then
+        pp "  " sp)
+    spans
+
 (* ---------------- validate ---------------- *)
 
 let validate_cmd =
-  let run name quirks faithful fuzz pcap_out =
+  let run name quirks faithful fuzz pcap_out telemetry_dir =
     let b = or_die (find_bundle name) in
     let quirks = effective_quirks quirks faithful in
     Format.printf "toolchain quirks: %a@." Quirks.pp quirks;
@@ -188,6 +213,13 @@ let validate_cmd =
         Packet.Pcap.write_file path records;
         Format.printf "wrote %d diverging packet(s) to %s@." (List.length records) path
     | None -> ());
+    Format.printf "%s@." (Harness.trace_health h);
+    (match telemetry_dir with
+    | Some dir ->
+        List.iter
+          (fun p -> Format.printf "wrote %s@." p)
+          (Harness.export_artifacts h ~dir)
+    | None -> ());
     if not (Usecases.Functional.passed report) then exit 1
   in
   let fuzz_arg =
@@ -200,10 +232,21 @@ let validate_cmd =
       & info [ "pcap" ] ~docv:"FILE"
           ~doc:"Write the packets that exposed divergences to a pcap capture.")
   in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"DIR"
+          ~doc:
+            "Export telemetry artifacts (trace.json, spans.jsonl, metrics.prom) into \
+             this directory after the run.")
+  in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Deploy on the simulated device and validate against the specification")
-    Term.(const run $ program_arg $ quirks_arg $ faithful_arg $ fuzz_arg $ pcap_arg)
+    Term.(
+      const run $ program_arg $ quirks_arg $ faithful_arg $ fuzz_arg $ pcap_arg
+      $ telemetry_arg)
 
 (* ---------------- localize ---------------- *)
 
@@ -225,7 +268,13 @@ let localize_cmd =
       (fun (stage, delta) -> Format.printf "  %-16s %Ld@." stage delta)
       evidence.Localize.e_deltas;
     Format.printf "  %-16s %d@." "check point" evidence.Localize.e_emitted;
-    Format.printf "  %-16s %d@." "on the wire" evidence.Localize.e_external
+    Format.printf "  %-16s %d@." "on the wire" evidence.Localize.e_external;
+    if evidence.Localize.e_span_trail <> [] then begin
+      Format.printf "@.span trail (every probe spanned during the burst):@.";
+      List.iter
+        (fun (stage, n) -> Format.printf "  %-16s %d span(s)@." stage n)
+        evidence.Localize.e_span_trail
+    end
   in
   let stage_arg =
     Arg.(
@@ -242,7 +291,8 @@ let localize_cmd =
 let journey_cmd =
   let run name hex =
     let b = or_die (find_bundle name) in
-    let h = Harness.deploy ~quirks:Quirks.none b in
+    (* one packet: span it unconditionally *)
+    let h = Harness.deploy ~quirks:Quirks.none ~span_sampling:1 b in
     let bits =
       match hex with
       | Some hx -> (
@@ -263,7 +313,11 @@ let journey_cmd =
     Format.printf "@.per-stage journey (internal trace):@.";
     List.iter
       (fun e -> Format.printf "  %a@." Trace.pp_event e)
-      (Trace.events_for_packet (Target.Device.trace h.Harness.device) id)
+      (Trace.events_for_packet (Target.Device.trace h.Harness.device) id);
+    Format.printf "@.span tree (virtual time, ns):@.";
+    print_span_tree Format.std_formatter
+      (Telemetry.Span.spans_for_packet (Target.Device.spans h.Harness.device) id);
+    Format.printf "@.%s@." (Harness.trace_health h)
   in
   let hex_arg =
     Arg.(
@@ -276,6 +330,106 @@ let journey_cmd =
     (Cmd.info "journey"
        ~doc:"Inject one packet and print its stage-by-stage journey from the taps")
     Term.(const run $ program_arg $ hex_arg)
+
+(* ---------------- trace ---------------- *)
+
+let format_names =
+  [ ("chrome", `Chrome); ("jsonl", `Jsonl); ("text", `Text) ]
+
+let trace_cmd =
+  let run name quirks faithful format sampling fuzz out =
+    let b = or_die (find_bundle name) in
+    let quirks = effective_quirks quirks faithful in
+    let h = Harness.deploy ~quirks ~span_sampling:sampling b in
+    (* the same traffic a validate run drives: self-check probes plus the
+       functional battery, so every sampled packet shows up as a span tree *)
+    (match Harness.self_check h with
+    | Ok _ -> ()
+    | Error e -> or_die (Error e));
+    ignore (Usecases.Functional.run ~fuzz h);
+    let spans = Device.spans h.Harness.device in
+    let rendered =
+      match format with
+      | `Chrome -> Telemetry.Export.chrome_trace spans
+      | `Jsonl -> Telemetry.Export.jsonl spans
+      | `Text -> Telemetry.Export.text spans
+    in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Format.eprintf "wrote %s@." path
+    | None -> print_string rendered);
+    Format.eprintf "%s@." (Harness.trace_health h)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum format_names) `Chrome
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Span export format: $(b,chrome) (trace_event JSON, loadable in Perfetto \
+             / chrome://tracing), $(b,jsonl) or $(b,text).")
+  in
+  let sampling_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sampling" ] ~docv:"N"
+          ~doc:"Span 1-in-$(docv) packets (default 1: every packet).")
+  in
+  let fuzz_arg =
+    Arg.(value & opt int 32 & info [ "fuzz" ] ~docv:"N" ~doc:"Extra fuzz vectors.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to this file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run validation traffic on the simulated device and export per-packet spans")
+    Term.(
+      const run $ program_arg $ quirks_arg $ faithful_arg $ format_arg $ sampling_arg
+      $ fuzz_arg $ out_arg)
+
+(* ---------------- metrics ---------------- *)
+
+let metrics_cmd =
+  let run name quirks faithful fuzz out =
+    let b = or_die (find_bundle name) in
+    let quirks = effective_quirks quirks faithful in
+    let h = Harness.deploy ~quirks b in
+    (match Harness.self_check h with
+    | Ok _ -> ()
+    | Error e -> or_die (Error e));
+    ignore (Usecases.Functional.run ~fuzz h);
+    let rendered = Telemetry.Export.prometheus (Device.metrics h.Harness.device) in
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Format.eprintf "wrote %s@." path
+    | None -> print_string rendered
+  in
+  let fuzz_arg =
+    Arg.(value & opt int 32 & info [ "fuzz" ] ~docv:"N" ~doc:"Extra fuzz vectors.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to this file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run validation traffic and print the device metrics registry in Prometheus \
+          text exposition")
+    Term.(const run $ program_arg $ quirks_arg $ faithful_arg $ fuzz_arg $ out_arg)
 
 (* ---------------- usecases ---------------- *)
 
@@ -335,4 +489,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; export_cmd; compile_cmd; verify_cmd; validate_cmd;
-            localize_cmd; journey_cmd; usecases_cmd ]))
+            localize_cmd; journey_cmd; trace_cmd; metrics_cmd; usecases_cmd ]))

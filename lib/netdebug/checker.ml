@@ -21,6 +21,11 @@ type t = {
   mutable captures : Wire.capture list;  (* newest first, bounded *)
   lat : Stats.Histogram.t;
   rate : Stats.Rate.t;
+  (* cumulative verdict counters in the device registry; unlike the
+     per-test-run [rule_state] tallies, [clear] never resets these *)
+  c_seen : Stats.Counter.t;
+  c_pass : Stats.Counter.t;
+  c_fail : Stats.Counter.t;
 }
 
 (* the checker observes; it never drops what it parses *)
@@ -29,6 +34,7 @@ let check_parse_hooks =
 
 let on_output t (out : Device.output) =
   t.total_seen <- t.total_seen + 1;
+  Stats.Counter.incr t.c_seen;
   Stats.Histogram.add t.lat (out.Device.o_out_time_ns -. out.Device.o_in_time_ns);
   Stats.Rate.record t.rate ~now_ns:out.Device.o_out_time_ns
     ~bytes:(Bitstring.byte_length out.Device.o_bits);
@@ -43,9 +49,13 @@ let on_output t (out : Device.output) =
       let applies = match rs.rule.Wire.r_filter with None -> true | Some f -> truthy f in
       if applies then begin
         rs.matched <- rs.matched + 1;
-        if truthy rs.rule.Wire.r_expect then rs.passed <- rs.passed + 1
+        if truthy rs.rule.Wire.r_expect then begin
+          rs.passed <- rs.passed + 1;
+          Stats.Counter.incr t.c_pass
+        end
         else begin
           rs.failed <- rs.failed + 1;
+          Stats.Counter.incr t.c_fail;
           if List.length t.captures < t.capture_limit then
             t.captures <-
               {
@@ -60,6 +70,7 @@ let on_output t (out : Device.output) =
     t.rules
 
 let create ?(capture_limit = 64) ~program device =
+  let metrics = Device.metrics device in
   let t =
     {
       program;
@@ -69,6 +80,15 @@ let create ?(capture_limit = 64) ~program device =
       captures = [];
       lat = Stats.Histogram.create ();
       rate = Stats.Rate.create ();
+      c_seen =
+        Telemetry.Registry.counter metrics
+          ~help:"emissions the checker observed at the check point" "checker/seen";
+      c_pass =
+        Telemetry.Registry.counter metrics
+          ~help:"rule evaluations that held" "checker/pass";
+      c_fail =
+        Telemetry.Registry.counter metrics
+          ~help:"rule evaluations that failed" "checker/fail";
     }
   in
   Device.set_check_tap device (fun out -> on_output t out);

@@ -14,9 +14,20 @@ type t = {
   mutable streams : Wire.stream list;
   mutable sent : int;
   mutable dispositions : Device.disposition list;  (* newest first *)
+  c_sent : Stats.Counter.t;  (* cumulative, in the device registry *)
 }
 
-let create ~program device = { program; device; streams = []; sent = 0; dispositions = [] }
+let create ~program device =
+  {
+    program;
+    device;
+    streams = [];
+    sent = 0;
+    dispositions = [];
+    c_sent =
+      Telemetry.Registry.counter (Device.metrics device)
+        ~help:"test packets the internal generator injected" "generator/sent";
+  }
 
 let configure t streams = t.streams <- streams
 
@@ -95,5 +106,6 @@ let start t =
     (fun (at, bits) ->
       let _, disposition = Device.inject t.device ~source:Device.Generator ~at_ns:at bits in
       t.sent <- t.sent + 1;
+      Stats.Counter.incr t.c_sent;
       t.dispositions <- disposition :: t.dispositions)
     ordered

@@ -14,9 +14,11 @@ type t = {
 
 let generator_port = 510
 
-let deploy ?(quirks = Sdnet.Quirks.default) ?config ?(install_entries = true) bundle =
+let deploy ?(quirks = Sdnet.Quirks.default) ?config ?(install_entries = true) ?span_sampling
+    bundle =
   let compile_report = Sdnet.Compile.compile_exn ~quirks ?config bundle.Programs.program in
   let device = Device.create compile_report.Sdnet.Compile.pipeline in
+  (match span_sampling with Some n -> Device.set_span_sampling device n | None -> ());
   if install_entries then begin
     match
       Runtime.install_all bundle.Programs.program (Device.runtime device)
@@ -29,6 +31,33 @@ let deploy ?(quirks = Sdnet.Quirks.default) ?config ?(install_entries = true) bu
   let agent = Agent.create ~program:bundle.Programs.program ~device dev_ep in
   let controller = Controller.create ~pump:(fun () -> Agent.process agent) host_ep in
   { bundle; compile_report; device; agent; controller }
+
+let trace_health t =
+  let spans = Device.spans t.device in
+  let trace = Device.trace t.device in
+  Printf.sprintf
+    "telemetry: %d spans retained, %d evicted (sampling 1/%d); %d trace events, %d dropped"
+    (Telemetry.Span.count spans)
+    (Telemetry.Span.dropped spans)
+    (max 1 (Telemetry.Span.sampling spans))
+    (Trace.count trace) (Trace.dropped trace)
+
+let export_artifacts t ~dir =
+  (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  let spans = Device.spans t.device in
+  let metrics = Device.metrics t.device in
+  [
+    write "trace.json" (Telemetry.Export.chrome_trace spans);
+    write "spans.jsonl" (Telemetry.Export.jsonl spans);
+    write "metrics.prom" (Telemetry.Export.prometheus metrics);
+  ]
 
 let spec_oracle t bits =
   (Interp.process t.bundle.Programs.program (Device.runtime t.device)

@@ -16,11 +16,25 @@ val deploy :
   ?quirks:Sdnet.Quirks.t ->
   ?config:Target.Config.t ->
   ?install_entries:bool ->
+  ?span_sampling:int ->
   P4ir.Programs.bundle ->
   t
 (** [quirks] defaults to {!Sdnet.Quirks.default} — the shipped toolchain,
     reject bug included. [install_entries] defaults to true.
+    [span_sampling] overrides the device's default 1-in-64 packet span
+    sampling (1 = every packet, 0 = off; metrics stay on regardless).
     @raise Invalid_argument when compilation fails. *)
+
+val trace_health : t -> string
+(** One-line telemetry health summary: spans retained/evicted, sampling
+    rate, trace events recorded/dropped. Surfaces ring-buffer eviction so
+    truncated observability data is never read as complete. *)
+
+val export_artifacts : t -> dir:string -> string list
+(** Write [trace.json] (Chrome trace_event, Perfetto-loadable),
+    [spans.jsonl] and [metrics.prom] (Prometheus text exposition) into
+    [dir] (created if missing, one level deep). Returns the paths
+    written. *)
 
 val generator_port : int
 (** The internal source port id test packets carry ([ingress_port] seen by

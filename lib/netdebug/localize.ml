@@ -12,7 +12,21 @@ type evidence = {
   e_deltas : (string * int64) list;
   e_emitted : int;
   e_external : int;
+  e_span_trail : (string * int) list;
 }
+
+(* Map span names back to pipeline stage names: "parse" -> "parser",
+   "deparse" -> "deparser", "stage[i]:<name>" -> "<name>". *)
+let stage_of_span_name name =
+  match name with
+  | "parse" -> Some "parser"
+  | "deparse" -> Some "deparser"
+  | _ ->
+      if String.length name > 6 && String.sub name 0 6 = "stage[" then
+        match String.index_opt name ':' with
+        | Some i -> Some (String.sub name (i + 1) (String.length name - i - 1))
+        | None -> None
+      else None
 
 let verdict_to_string = function
   | Healthy -> "healthy"
@@ -32,7 +46,13 @@ let locate ?(count = 16) (h : Harness.t) ~probe =
   match spec.Interp.result with
   | Interp.Dropped reason ->
       ( Dropped_by_program reason,
-        { e_expected_stages = []; e_deltas = []; e_emitted = 0; e_external = 0 } )
+        {
+          e_expected_stages = [];
+          e_deltas = [];
+          e_emitted = 0;
+          e_external = 0;
+          e_span_trail = [];
+        } )
   | Interp.Forwarded (spec_port, _) ->
       let expected_stages =
         ("parser" :: List.map (fun (t, _, _) -> "ma:" ^ t) spec.Interp.tables)
@@ -51,11 +71,26 @@ let locate ?(count = 16) (h : Harness.t) ~probe =
       (* drain stale external outputs so we only count our probes *)
       ignore (Device.outputs h.Harness.device);
       let before = read_counters () in
+      (* span every probe in the burst: independent, per-stage-timed
+         corroboration of the counter-delta evidence *)
+      let spanstore = Device.spans h.Harness.device in
+      let prev_sampling = Telemetry.Span.sampling spanstore in
+      Device.set_span_sampling h.Harness.device 1;
+      let watermark = Telemetry.Span.issued spanstore in
       let* () = Controller.clear_test_state ctl in
       let* () =
         Controller.configure_generator ctl [ Controller.stream ~count probe ]
       in
       let* () = Controller.start_generator ctl in
+      let trail_tbl = Hashtbl.create 8 in
+      Telemetry.Span.iter spanstore (fun sp ->
+          if sp.Telemetry.Span.sp_id >= watermark then
+            match stage_of_span_name sp.Telemetry.Span.sp_name with
+            | Some stage ->
+                Hashtbl.replace trail_tbl stage
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt trail_tbl stage))
+            | None -> ());
+      Device.set_span_sampling h.Harness.device prev_sampling;
       let after = read_counters () in
       let* summary = Controller.read_checker ctl in
       let emitted = summary.Wire.cs_total_seen in
@@ -75,6 +110,10 @@ let locate ?(count = 16) (h : Harness.t) ~probe =
           e_deltas = deltas;
           e_emitted = emitted;
           e_external = List.length external_outputs;
+          e_span_trail =
+            List.map
+              (fun s -> (s, Option.value ~default:0 (Hashtbl.find_opt trail_tbl s)))
+              expected_stages;
         }
       in
       let countL = Int64.of_int count in

@@ -22,6 +22,10 @@ type evidence = {
   e_deltas : (string * int64) list;  (** per-stage seen-counter deltas *)
   e_emitted : int;  (** packets the check point observed *)
   e_external : int;  (** packets visible on the wire *)
+  e_span_trail : (string * int) list;
+      (** spans recorded per expected stage during the burst (sampling is
+          forced to every-packet for its duration) — per-stage-timed
+          corroboration of the counter deltas *)
 }
 
 val locate :

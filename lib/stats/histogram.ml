@@ -45,7 +45,8 @@ let total t = t.sum
 
 let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
 
-let min_value t = t.minv
+(* minv starts at +inf as the fold identity; never leak it to callers *)
+let min_value t = if t.n = 0 then 0. else t.minv
 
 let max_value t = t.maxv
 
@@ -57,6 +58,8 @@ let stddev t =
     if var < 0. then 0. else sqrt var
 
 let percentile t p =
+  (* guard before touching maxv: on an empty histogram maxv is still the
+     0. fold identity and must not masquerade as a measured quantile *)
   if t.n = 0 then 0.
   else begin
     let rank = int_of_float (ceil (p /. 100. *. float_of_int t.n)) in

@@ -19,7 +19,7 @@ val mean : t -> float
 (** 0 when empty. *)
 
 val min_value : t -> float
-(** +inf when empty. *)
+(** 0 when empty (never the internal +inf fold identity). *)
 
 val max_value : t -> float
 (** 0 when empty. *)

@@ -8,7 +8,10 @@ module Runtime = P4ir.Runtime
 module Regstate = P4ir.Regstate
 module Stdmeta = P4ir.Stdmeta
 module Counter = Stats.Counter
+module Histogram = Stats.Histogram
 module Bitstring = Bitutil.Bitstring
+module Span = Telemetry.Span
+module Registry = Telemetry.Registry
 
 type source = External of int | Generator
 
@@ -41,16 +44,24 @@ type status = {
    a non-physical ingress port (one below the 511 drop port). *)
 let generator_port = 510
 
+(* Spans for 1-in-64 packets by default; metrics are always on. *)
+let default_span_sampling = 64
+
 exception Lost of string
 
-(* Per-stage runtime state. Counters are resolved once at device creation so
-   the hot path never formats a counter name. *)
+(* Per-stage runtime state. Counters and span names are resolved/interned
+   once at device creation so the hot path never formats or hashes a
+   string. *)
 type stage_state = {
   ss_name : string;
   ss_seen : Counter.t;
   ss_hit : Counter.t option;
   ss_miss : Counter.t option;
+  ss_fault_applied : Counter.t;
   ss_enter_ns : float;  (* latency from pipeline entry to this stage, for trace stamps *)
+  ss_latency_ns : float;
+  ss_name_id : int;  (* interned span name, e.g. "stage[2]:ma:ipv4_lpm" *)
+  ss_span_kind : Span.kind;
   mutable ss_fault : Fault.t option;
   mutable ss_fault_hits : int;
 }
@@ -61,6 +72,8 @@ type t = {
   runtime : Runtime.t;
   regs : Regstate.t;
   counters : Counter.Set.t;
+  metrics : Registry.t;
+  spanstore : Span.t;
   trace : Trace.t;
   env : Env.t;
   ctx : Exec.ctx;
@@ -74,6 +87,9 @@ type t = {
   faults_active : bool ref;
   cur_id : int ref;
   cur_entry : float ref;
+  cur_sampled : bool ref;  (* is the in-flight packet fully spanned? *)
+  cur_root : int ref;  (* reserved span id of the in-flight packet's root *)
+  cur_end : float ref;  (* latest virtual time the in-flight packet reached *)
   mutable now : float;
   mutable pipe_free : float;  (* when the bus finishes streaming the last packet in *)
   rx_q : Ringq.t;
@@ -91,6 +107,17 @@ type t = {
   c_emitted : Counter.t;
   c_assert_failed : Counter.t;
   c_txq_drop : Counter.t array;
+  h_pipe_latency : Histogram.t;
+  h_rxq_wait : Histogram.t;
+  h_tx_ser : Histogram.t array;
+  n_packet : int;
+  n_rx_queue : int;
+  n_tx : int array;
+  note_accept : int;
+  note_reject : int;
+  note_enter : int;
+  note_emit : int;
+  note_tail_drop : int;
   prog_counters : (string, Counter.t) Hashtbl.t;
 }
 
@@ -102,14 +129,21 @@ let corrupt env h f mask =
 let fault_drop ss =
   match ss.ss_fault with
   | None | Some (Fault.Corrupt_field _) | Some Fault.Stuck_miss -> ()
-  | Some Fault.Drop_at_stage -> raise (Lost ss.ss_name)
+  | Some Fault.Drop_at_stage ->
+      Counter.incr ss.ss_fault_applied;
+      raise (Lost ss.ss_name)
   | Some (Fault.Intermittent_drop n) ->
       ss.ss_fault_hits <- ss.ss_fault_hits + 1;
-      if n > 0 && ss.ss_fault_hits mod n = 0 then raise (Lost ss.ss_name)
+      if n > 0 && ss.ss_fault_hits mod n = 0 then begin
+        Counter.incr ss.ss_fault_applied;
+        raise (Lost ss.ss_name)
+      end
 
 let fault_corrupt env ss =
   match ss.ss_fault with
-  | Some (Fault.Corrupt_field (h, f, mask)) -> corrupt env h f mask
+  | Some (Fault.Corrupt_field (h, f, mask)) ->
+      Counter.incr ss.ss_fault_applied;
+      corrupt env h f mask
   | _ -> ()
 
 let fault_at env ss =
@@ -121,29 +155,46 @@ let create (pipeline : Pipeline.t) =
   let program = pipeline.Pipeline.program in
   let cycle_ns = Config.cycle_ns config in
   let counters = Counter.Set.create () in
+  let metrics = Registry.create ~counters () in
+  let spanstore = Span.create ~sampling:default_span_sampling () in
   let trace = Trace.create () in
   let runtime = Runtime.create () in
   let env = Env.create program in
   let regs = Regstate.create program in
   let offset = ref 0 in
   let stages =
-    List.map
-      (fun (s : Pipeline.stage) ->
+    List.mapi
+      (fun i (s : Pipeline.stage) ->
         let enter_ns = float_of_int !offset *. cycle_ns in
         offset := !offset + s.Pipeline.s_latency_cycles;
-        let counter suffix = Counter.Set.find counters ("stage/" ^ s.Pipeline.s_name ^ suffix) in
+        let counter suffix help =
+          Registry.counter metrics ~help ("stage/" ^ s.Pipeline.s_name ^ suffix)
+        in
         let hit, miss =
           match s.Pipeline.s_kind with
-          | Pipeline.Match_action _ -> (Some (counter "/hit"), Some (counter "/miss"))
+          | Pipeline.Match_action _ ->
+              ( Some (counter "/hit" "table lookups that matched an entry"),
+                Some (counter "/miss" "table lookups that fell through") )
           | Pipeline.Parser_engine | Pipeline.Egress_engine | Pipeline.Deparser_engine ->
               (None, None)
         in
+        let span_name, span_kind =
+          match s.Pipeline.s_kind with
+          | Pipeline.Parser_engine -> ("parse", Span.Parse)
+          | Pipeline.Deparser_engine -> ("deparse", Span.Deparse)
+          | Pipeline.Match_action _ | Pipeline.Egress_engine ->
+              (Printf.sprintf "stage[%d]:%s" i s.Pipeline.s_name, Span.Stage)
+        in
         {
           ss_name = s.Pipeline.s_name;
-          ss_seen = counter "/seen";
+          ss_seen = counter "/seen" "packets that entered this stage";
           ss_hit = hit;
           ss_miss = miss;
+          ss_fault_applied = counter "/fault_hits" "injected-fault applications at this stage";
           ss_enter_ns = enter_ns;
+          ss_latency_ns = float_of_int s.Pipeline.s_latency_cycles *. cycle_ns;
+          ss_name_id = Span.intern spanstore span_name;
+          ss_span_kind = span_kind;
           ss_fault = None;
           ss_fault_hits = 0;
         })
@@ -164,9 +215,20 @@ let create (pipeline : Pipeline.t) =
     | Some ss -> ss
     | None -> invalid_arg ("Device.create: pipeline has no " ^ name ^ " stage")
   in
+  Array.iter
+    (fun ss ->
+      let lat = ss.ss_latency_ns in
+      Registry.gauge metrics
+        ~help:"fixed stage latency in the analytic timing model"
+        ("stage/" ^ ss.ss_name ^ "/latency_ns")
+        (fun () -> lat))
+    stages;
   let faults_active = ref false in
   let cur_id = ref 0 in
   let cur_entry = ref 0.0 in
+  let cur_sampled = ref false in
+  let cur_root = ref 0 in
+  let cur_end = ref 0.0 in
   let on_table ~table ~hit ~action =
     match Hashtbl.find_opt by_table table with
     | None -> ()
@@ -179,6 +241,13 @@ let create (pipeline : Pipeline.t) =
           ~time_ns:(!cur_entry +. ss.ss_enter_ns)
           ~component:ss.ss_name
           (if hit then action else "miss");
+        if !cur_sampled then begin
+          let t0 = !cur_entry +. ss.ss_enter_ns in
+          ignore
+            (Span.add spanstore ~parent:!cur_root ~packet:!cur_id ~kind:ss.ss_span_kind
+               ~name:ss.ss_name_id ~t0 ~t1:(t0 +. ss.ss_latency_ns) ~bytes:0 ~flags:0
+               ~note:(Span.intern spanstore (if hit then action else "miss")))
+        end;
         if !faults_active then fault_at env ss
   in
   let prog_counters = Hashtbl.create 8 in
@@ -193,7 +262,9 @@ let create (pipeline : Pipeline.t) =
     in
     Counter.incr c
   in
-  let c_assert_failed = Counter.Set.find counters "assert/failed" in
+  let c_assert_failed =
+    Registry.counter metrics ~help:"program assertions that evaluated false" "assert/failed"
+  in
   let on_assert ok _msg = if not ok then Counter.incr c_assert_failed in
   let base_hooks = pipeline.Pipeline.exec_hooks in
   let table_always_miss tbl =
@@ -206,12 +277,25 @@ let create (pipeline : Pipeline.t) =
   in
   let hooks = { base_hooks with Exec.table_always_miss } in
   let ctx = Exec.make_ctx ~hooks ~on_count ~on_assert ~on_table ~regs ~env ~runtime () in
+  let rx_q = Ringq.create config.Config.rx_queue_packets in
+  let tx_q = Array.init config.Config.ports (fun _ -> Ringq.create config.Config.tx_queue_packets) in
+  Registry.gauge metrics ~help:"packets buffered in the input queue" "rxq/depth" (fun () ->
+      float_of_int (Ringq.length rx_q));
+  Array.iteri
+    (fun p q ->
+      Registry.gauge metrics
+        ~help:"packets buffered in this port's TX queue"
+        (Printf.sprintf "txq%d/depth" p)
+        (fun () -> float_of_int (Ringq.length q)))
+    tx_q;
   {
     pipeline;
     config;
     runtime;
     regs;
     counters;
+    metrics;
+    spanstore;
     trace;
     env;
     ctx;
@@ -225,25 +309,57 @@ let create (pipeline : Pipeline.t) =
     faults_active;
     cur_id;
     cur_entry;
+    cur_sampled;
+    cur_root;
+    cur_end;
     now = 0.0;
     pipe_free = 0.0;
-    rx_q = Ringq.create config.Config.rx_queue_packets;
-    tx_q = Array.init config.Config.ports (fun _ -> Ringq.create config.Config.tx_queue_packets);
+    rx_q;
+    tx_q;
     tx_free = Array.make config.Config.ports 0.0;
     broken = Array.make config.Config.ports false;
     outs_rev = [];
     check_tap = ignore;
     next_id = 0;
-    c_rx_external = Counter.Set.find counters "rx/external";
-    c_rx_generator = Counter.Set.find counters "rx/generator";
-    c_drop_queue = Counter.Set.find counters "drop/queue";
-    c_drop_pipeline = Counter.Set.find counters "drop/pipeline";
-    c_drop_fault = Counter.Set.find counters "drop/fault";
-    c_emitted = Counter.Set.find counters "tx/emitted";
+    c_rx_external =
+      Registry.counter metrics ~help:"packets arrived on physical ports" "rx/external";
+    c_rx_generator =
+      Registry.counter metrics ~help:"packets injected by the internal generator" "rx/generator";
+    c_drop_queue =
+      Registry.counter metrics ~help:"tail drops at the full input queue" "drop/queue";
+    c_drop_pipeline =
+      Registry.counter metrics ~help:"packets dropped by program semantics" "drop/pipeline";
+    c_drop_fault =
+      Registry.counter metrics ~help:"packets swallowed by an injected fault" "drop/fault";
+    c_emitted =
+      Registry.counter metrics ~help:"emissions observed at the check point" "tx/emitted";
     c_assert_failed;
     c_txq_drop =
       Array.init config.Config.ports (fun p ->
-          Counter.Set.find counters (Printf.sprintf "drop/txq%d" p));
+          Registry.counter metrics ~help:"tail drops at this port's full TX queue"
+            (Printf.sprintf "drop/txq%d" p));
+    h_pipe_latency =
+      Registry.histogram metrics
+        ~help:"virtual ns from device arrival to pipeline exit (check point)"
+        "pipeline/latency_ns";
+    h_rxq_wait =
+      Registry.histogram metrics
+        ~help:"virtual ns a packet waited before the pipeline bus accepted it"
+        "rxq/wait_ns";
+    h_tx_ser =
+      Array.init config.Config.ports (fun p ->
+          Registry.histogram metrics
+            ~help:"virtual ns spent serializing onto this port's wire"
+            (Printf.sprintf "tx/port%d/serialization_ns" p));
+    n_packet = Span.intern spanstore "packet";
+    n_rx_queue = Span.intern spanstore "rx_queue";
+    n_tx =
+      Array.init config.Config.ports (fun p -> Span.intern spanstore (Printf.sprintf "tx[%d]" p));
+    note_accept = Span.intern spanstore "accept";
+    note_reject = Span.intern spanstore "reject";
+    note_enter = Span.intern spanstore "enter";
+    note_emit = Span.intern spanstore "emit";
+    note_tail_drop = Span.intern spanstore "tail-drop";
     prog_counters;
   }
 
@@ -252,8 +368,12 @@ let config t = t.config
 let runtime t = t.runtime
 let registers t = t.regs
 let counters t = t.counters
+let metrics t = t.metrics
+let spans t = t.spanstore
 let trace t = t.trace
 let now_ns t = t.now
+
+let set_span_sampling t n = Span.set_sampling t.spanstore n
 
 let set_check_tap t f = t.check_tap <- f
 
@@ -278,11 +398,18 @@ let clear_faults t =
     t.stages;
   t.faults_active := false
 
+(* A child span of the in-flight packet's root. *)
+let span_child t ~kind ~name ~t0 ~t1 ~bytes ~flags ~note =
+  ignore
+    (Span.add t.spanstore ~parent:!(t.cur_root) ~packet:!(t.cur_id) ~kind ~name ~t0 ~t1
+       ~bytes ~flags ~note)
+
 (* Emission: the check tap observes everything that left the pipeline; only
    packets bound for a healthy physical port with TX buffer room go on to
    the wire (and into [outputs]). *)
 let emit t ~source ~arrival ~out_time ~port bits =
   Counter.incr t.c_emitted;
+  Histogram.add t.h_pipe_latency (out_time -. arrival);
   let out =
     {
       o_port = port;
@@ -297,7 +424,12 @@ let emit t ~source ~arrival ~out_time ~port bits =
   if port >= 0 && port < t.config.Config.ports && not t.broken.(port) then begin
     let q = t.tx_q.(port) in
     ignore (Ringq.drop_leq q out_time);
-    if Ringq.is_full q then Counter.incr t.c_txq_drop.(port)
+    if Ringq.is_full q then begin
+      Counter.incr t.c_txq_drop.(port);
+      if !(t.cur_sampled) then
+        span_child t ~kind:Span.Tx ~name:t.n_tx.(port) ~t0:out_time ~t1:out_time ~bytes:0
+          ~flags:Span.flag_drop ~note:t.note_tail_drop
+    end
     else begin
       let bytes = (Bitstring.length bits + 7) / 8 in
       let ser = float_of_int bytes /. (Config.port_rate_gbps t.config /. 8.0) in
@@ -305,6 +437,11 @@ let emit t ~source ~arrival ~out_time ~port bits =
       let wire = start +. ser in
       t.tx_free.(port) <- wire;
       ignore (Ringq.push q wire);
+      Histogram.add t.h_tx_ser.(port) ser;
+      t.cur_end := wire;
+      if !(t.cur_sampled) then
+        span_child t ~kind:Span.Tx ~name:t.n_tx.(port) ~t0:out_time ~t1:wire ~bytes ~flags:0
+          ~note:Span.no_note;
       t.outs_rev <- { out with o_wire_time_ns = wire } :: t.outs_rev
     end
   end;
@@ -327,6 +464,13 @@ let run_pipeline t ~source ~id ~arrival ~entry_done bits =
       ~time_ns:(entry_done +. ps.ss_enter_ns)
       ~component:ps.ss_name
       (if outcome.Parse.accepted then "accept" else "reject");
+    if !(t.cur_sampled) then begin
+      let t0 = entry_done +. ps.ss_enter_ns in
+      span_child t ~kind:ps.ss_span_kind ~name:ps.ss_name_id ~t0
+        ~t1:(t0 +. ps.ss_latency_ns) ~bytes:0
+        ~flags:(if outcome.Parse.accepted then 0 else Span.flag_drop)
+        ~note:(if outcome.Parse.accepted then t.note_accept else t.note_reject)
+    end;
     if !(t.faults_active) then fault_corrupt env ps;
     if not outcome.Parse.accepted then begin
       Counter.incr t.c_drop_pipeline;
@@ -345,6 +489,11 @@ let run_pipeline t ~source ~id ~arrival ~entry_done bits =
         Trace.record t.trace ~packet_id:id
           ~time_ns:(entry_done +. es.ss_enter_ns)
           ~component:es.ss_name "enter";
+        if !(t.cur_sampled) then begin
+          let t0 = entry_done +. es.ss_enter_ns in
+          span_child t ~kind:es.ss_span_kind ~name:es.ss_name_id ~t0
+            ~t1:(t0 +. es.ss_latency_ns) ~bytes:0 ~flags:0 ~note:t.note_enter
+        end;
         if !(t.faults_active) then fault_at env es;
         Exec.set_phase ctx Exec.Egress;
         Exec.run_stmts ctx program.Ast.p_egress;
@@ -358,6 +507,11 @@ let run_pipeline t ~source ~id ~arrival ~entry_done bits =
           Trace.record t.trace ~packet_id:id
             ~time_ns:(entry_done +. ds.ss_enter_ns)
             ~component:ds.ss_name "emit";
+          if !(t.cur_sampled) then begin
+            let t0 = entry_done +. ds.ss_enter_ns in
+            span_child t ~kind:ds.ss_span_kind ~name:ds.ss_name_id ~t0
+              ~t1:(t0 +. ds.ss_latency_ns) ~bytes:0 ~flags:0 ~note:t.note_emit
+          end;
           if !(t.faults_active) then fault_at env ds;
           let out_bits =
             Deparse.run ~update_ipv4_checksum:t.pipeline.Pipeline.update_ipv4_checksum env
@@ -383,6 +537,11 @@ let inject t ~source ?at_ns bits =
   t.now <- arrival;
   let id = t.next_id in
   t.next_id <- id + 1;
+  t.cur_id := id;
+  let sampled = Span.sample t.spanstore in
+  t.cur_sampled := sampled;
+  if sampled then t.cur_root := Span.next_id t.spanstore;
+  let bytes = (Bitstring.length bits + 7) / 8 in
   (match source with
   | External _ -> Counter.incr t.c_rx_external
   | Generator -> Counter.incr t.c_rx_generator);
@@ -393,17 +552,43 @@ let inject t ~source ?at_ns bits =
     Counter.incr t.c_drop_queue;
     Trace.record t.trace ~packet_id:id ~severity:Trace.Warn ~time_ns:arrival ~component:"rxq"
       "tail-drop";
+    if sampled then begin
+      span_child t ~kind:Span.Rx_queue ~name:t.n_rx_queue ~t0:arrival ~t1:arrival ~bytes:0
+        ~flags:Span.flag_drop ~note:t.note_tail_drop;
+      Span.record t.spanstore ~id:!(t.cur_root) ~parent:Span.no_parent ~packet:id
+        ~kind:Span.Packet ~name:t.n_packet ~t0:arrival ~t1:arrival ~bytes
+        ~flags:Span.flag_drop ~note:t.note_tail_drop
+    end;
     (id, Dropped_queue)
   end
   else begin
-    let bytes = (Bitstring.length bits + 7) / 8 in
     let bus = t.config.Config.bus_bytes_per_cycle in
     let ser_cycles = (bytes + bus - 1) / bus in
     let start = if t.pipe_free > arrival then t.pipe_free else arrival in
     let entry_done = start +. (float_of_int ser_cycles *. t.cycle_ns) in
     t.pipe_free <- entry_done;
     ignore (Ringq.push t.rx_q entry_done);
-    (id, run_pipeline t ~source ~id ~arrival ~entry_done bits)
+    Histogram.add t.h_rxq_wait (start -. arrival);
+    if sampled then
+      span_child t ~kind:Span.Rx_queue ~name:t.n_rx_queue ~t0:arrival ~t1:entry_done ~bytes:0
+        ~flags:0 ~note:Span.no_note;
+    (* pipeline drops end the packet at pipeline exit; [emit] pushes this
+       out to the wire timestamp when the packet reaches one *)
+    t.cur_end := entry_done +. t.latency_ns;
+    let disposition = run_pipeline t ~source ~id ~arrival ~entry_done bits in
+    if sampled then begin
+      let flags, note =
+        match disposition with
+        | Emitted _ -> (0, Span.no_note)
+        | Dropped_pipeline reason -> (Span.flag_drop, Span.intern t.spanstore reason)
+        | Lost_in_stage stage ->
+            (Span.flag_drop lor Span.flag_fault, Span.intern t.spanstore stage)
+        | Dropped_queue -> assert false
+      in
+      Span.record t.spanstore ~id:!(t.cur_root) ~parent:Span.no_parent ~packet:id
+        ~kind:Span.Packet ~name:t.n_packet ~t0:arrival ~t1:!(t.cur_end) ~bytes ~flags ~note
+    end;
+    (id, disposition)
   end
 
 let advance_to_ns t ns =

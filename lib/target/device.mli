@@ -63,6 +63,23 @@ val counters : t -> Stats.Counter.Set.t
 (** "rx/external", "rx/generator", "drop/queue", "drop/txq<p>",
     "stage/<name>/seen" (+ "/hit", "/miss" on match-action stages), … *)
 
+val metrics : t -> Telemetry.Registry.t
+(** The registry wrapping {!counters}, plus gauges (queue depths, stage
+    latencies) and histograms ("pipeline/latency_ns", "rxq/wait_ns",
+    "tx/port<p>/serialization_ns"). Single registration point — render it
+    with {!Telemetry.Export.prometheus}. *)
+
+val spans : t -> Telemetry.Span.t
+(** Per-packet span store. Each sampled traversal becomes a tree rooted
+    at a ["packet"] span with ["rx_queue"], ["parse"],
+    ["stage[i]:<name>"], ["deparse"] and ["tx[port]"] children, stamped
+    in virtual time. *)
+
+val set_span_sampling : t -> int -> unit
+(** Record full span trees for 1-in-[n] injected packets (default
+    1-in-64; the first packet after a change is always sampled). [n <= 0]
+    disables spans entirely. Metrics are unaffected. *)
+
 val trace : t -> Trace.t
 
 val now_ns : t -> float

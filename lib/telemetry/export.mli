@@ -1,0 +1,23 @@
+(** Exporters: render the span store and metrics registry into standard
+    observability formats. All functions are pure renderers over current
+    contents — callers decide where the bytes go. *)
+
+val chrome_trace : Span.t -> string
+(** Chrome [trace_event] JSON ({"traceEvents": [...]}) loadable in
+    chrome://tracing and Perfetto. One track per distinct span name;
+    complete ("X") events with microsecond timestamps; packet id, byte
+    count, notes and drop/fault marks in [args]. *)
+
+val jsonl : Span.t -> string
+(** One JSON object per span per line, in record order. *)
+
+val text : Span.t -> string
+(** Human-readable listing with a retained/evicted footer, so truncated
+    span stores are never silently read as complete. *)
+
+val prometheus : Registry.t -> string
+(** Prometheus text exposition. Metric names are sanitized and prefixed
+    with [netdebug_]; histograms export as summaries (p50/p90/p99 +
+    [_sum]/[_count]). *)
+
+val json_escape : string -> string

@@ -1,0 +1,73 @@
+(* Single registration point for named device metrics. Counters live in a
+   Stats.Counter.Set (shared with the device's management-channel view, so
+   dynamically created program counters surface here too); gauges are
+   read-on-snapshot callbacks; histograms are Stats.Histogram. *)
+
+type value =
+  | Counter of int64
+  | Gauge of float
+  | Histogram of Stats.Histogram.t
+
+type t = {
+  counters : Stats.Counter.Set.t;
+  helps : (string, string) Hashtbl.t;
+  gauges : (string, unit -> float) Hashtbl.t;
+  histograms : (string, Stats.Histogram.t) Hashtbl.t;
+}
+
+let create ?counters () =
+  {
+    counters = (match counters with Some s -> s | None -> Stats.Counter.Set.create ());
+    helps = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let counter_set t = t.counters
+
+let set_help t name help = if help <> "" then Hashtbl.replace t.helps name help
+
+let help t name = match Hashtbl.find_opt t.helps name with Some h -> h | None -> ""
+
+let counter t ?(help = "") name =
+  set_help t name help;
+  Stats.Counter.Set.find t.counters name
+
+let gauge t ?(help = "") name read =
+  set_help t name help;
+  Hashtbl.replace t.gauges name read
+
+let histogram t ?(help = "") name =
+  set_help t name help;
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = Stats.Histogram.create () in
+      Hashtbl.replace t.histograms name h;
+      h
+
+let snapshot t =
+  let counters =
+    List.map
+      (fun (n, v) -> (n, help t n, Counter v))
+      (Stats.Counter.Set.to_alist t.counters)
+  in
+  let gauges =
+    Hashtbl.fold (fun n read acc -> (n, help t n, Gauge (read ())) :: acc) t.gauges []
+  in
+  let hists =
+    Hashtbl.fold (fun n h acc -> (n, help t n, Histogram h) :: acc) t.histograms []
+  in
+  List.sort
+    (fun (a, _, _) (b, _, _) -> String.compare a b)
+    (counters @ gauges @ hists)
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@\n")
+    (fun ppf (name, _, v) ->
+      match v with
+      | Counter c -> Format.fprintf ppf "%-40s %Ld" name c
+      | Gauge g -> Format.fprintf ppf "%-40s %.6g" name g
+      | Histogram h -> Format.fprintf ppf "%-40s %a" name Stats.Histogram.pp_summary h)
+    ppf (snapshot t)

@@ -1,0 +1,39 @@
+(** Metrics registry: the single registration point for a device's named
+    counters, gauges and histograms.
+
+    Counters are backed by a {!Stats.Counter.Set} (pass the device's set to
+    {!create} so counters created elsewhere — e.g. per-program counters made
+    on demand — appear in the same namespace). Gauges are callbacks sampled
+    at {!snapshot} time (queue depths, static pipeline facts). Histograms
+    are {!Stats.Histogram} values updated by the owner. Registration
+    attaches optional help text that exporters surface. *)
+
+type value =
+  | Counter of int64
+  | Gauge of float
+  | Histogram of Stats.Histogram.t
+
+type t
+
+val create : ?counters:Stats.Counter.Set.t -> unit -> t
+(** Wrap an existing counter set, or create a fresh one. *)
+
+val counter_set : t -> Stats.Counter.Set.t
+
+val counter : t -> ?help:string -> string -> Stats.Counter.t
+(** Find-or-create; repeated registration returns the same counter. *)
+
+val gauge : t -> ?help:string -> string -> (unit -> float) -> unit
+(** Register (or replace) a callback gauge. *)
+
+val histogram : t -> ?help:string -> string -> Stats.Histogram.t
+(** Find-or-create. *)
+
+val help : t -> string -> string
+(** Help text attached at registration; "" when none. *)
+
+val snapshot : t -> (string * string * value) list
+(** All metrics — every counter in the set, each gauge read now, each
+    histogram — as (name, help, value), sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -51,6 +51,22 @@ let test_histogram_empty () =
   close "mean" 0.0 (Histogram.mean h);
   close "p99" 0.0 (Histogram.percentile h 99.0)
 
+(* empty histograms must never leak internal fold identities: minv starts
+   at +inf and maxv at 0., neither is a measurement *)
+let test_histogram_empty_extrema () =
+  let h = Histogram.create () in
+  close "min is 0, not +inf" 0.0 (Histogram.min_value h);
+  check_bool "min is finite" true (Float.is_finite (Histogram.min_value h));
+  close "max" 0.0 (Histogram.max_value h);
+  List.iter
+    (fun p -> close (Printf.sprintf "p%.0f" p) 0.0 (Histogram.percentile h p))
+    [ 0.0; 50.0; 100.0 ];
+  (* same after data comes and goes *)
+  Histogram.add h 42.0;
+  Histogram.clear h;
+  close "min after clear" 0.0 (Histogram.min_value h);
+  close "p50 after clear" 0.0 (Histogram.percentile h 50.0)
+
 let test_histogram_single () =
   let h = Histogram.create () in
   Histogram.add h 100.0;
@@ -169,6 +185,7 @@ let () =
       ( "histogram",
         [
           Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "empty extrema" `Quick test_histogram_empty_extrema;
           Alcotest.test_case "single" `Quick test_histogram_single;
           Alcotest.test_case "percentile bounds" `Quick test_histogram_percentile_bounds;
           Alcotest.test_case "p100 <= max" `Quick test_histogram_percentile_never_exceeds_max;
