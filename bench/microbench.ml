@@ -162,12 +162,49 @@ let b11b_device_forward_spans_sampled =
     (Staged.stage (fun () ->
          ignore (Device.inject d ~source:(Device.External 0) routed_probe)))
 
+(* B1c/B2c: the two fuzzing coverage hooks. B1c forwards with the
+   device-side coverage taps installed; B2c adds spec-side edge recording
+   to the interpreter run. Both feed the overhead gate against their
+   uninstrumented baselines. *)
+let b1c_device_forward_coverage =
+  let d = make_device () in
+  let cov = Fuzz.Coverage.create () in
+  let () = Fuzz.Coverage.attach_device cov d in
+  Test.make ~name:"B1c device: forward one packet, coverage taps"
+    (Staged.stage (fun () ->
+         ignore (Device.inject d ~source:(Device.External 0) routed_probe)))
+
+let b2c_interp_forward_coverage =
+  let rt = Runtime.create () in
+  let () =
+    match
+      Runtime.install_all Programs.basic_router.Programs.program rt
+        Programs.basic_router.Programs.entries
+    with
+    | Ok () -> ()
+    | Error e -> failwith e
+  in
+  let cov = Fuzz.Coverage.create () in
+  Test.make ~name:"B2c interpreter: forward one packet, coverage map"
+    (Staged.stage (fun () ->
+         Fuzz.Coverage.record_spec cov
+           (Interp.process Programs.basic_router.Programs.program rt ~ingress_port:0
+              routed_probe)))
+
+(* B12: one full differential-oracle execution — interpreter, device via
+   the generator/checker loop, coverage on both sides, verdict compare. *)
+let b12_fuzz_oracle =
+  let o = Fuzz.Oracle.create Programs.basic_router in
+  Test.make ~name:"B12 fuzz: one differential-oracle execution"
+    (Staged.stage (fun () -> ignore (Fuzz.Oracle.execute o routed_probe)))
+
 let tests =
   Test.make_grouped ~name:"netdebug"
     [
       b1_device_forward; b2_interp_forward; b3_generator; b4_checker_rule; b5_lpm_lookup;
       b6_symexec; b7_compile; b8_checksum; b9_kv_get; b10_wire_roundtrip;
       b11_device_forward_spans; b11b_device_forward_spans_sampled;
+      b1c_device_forward_coverage; b2c_interp_forward_coverage; b12_fuzz_oracle;
     ]
 
 (* per-operation estimate of one measure for one test, if the OLS converged *)
@@ -206,28 +243,45 @@ let write_json file rows =
   close_out oc;
   Format.printf "microbench results written to %s@." file
 
-(* Telemetry-overhead regression gate: fully-spanned forwarding (B11) must
-   stay within [max_ratio] of the baseline (B1). Exact-name lookup. *)
+(* Instrumentation-overhead regression gate: every hook that rides the
+   packet hot path — full span sampling (B11), the fuzzer's device-side
+   coverage taps (B1c) and spec-side coverage map (B2c) — must stay
+   within [max_ratio] of its uninstrumented baseline. Exact-name lookup
+   (never by prefix — "B11..." starts with "B1"). *)
+let overhead_pairs =
+  [
+    ( "netdebug/B11 device: forward one packet, spans 1/1",
+      "netdebug/B1 device: forward one packet",
+      "B11/B1" );
+    ( "netdebug/B1c device: forward one packet, coverage taps",
+      "netdebug/B1 device: forward one packet",
+      "B1c/B1" );
+    ( "netdebug/B2c interpreter: forward one packet, coverage map",
+      "netdebug/B2 interpreter: forward one packet",
+      "B2c/B2" );
+  ]
+
 let check_overhead_gate ?(max_ratio = 1.10) rows =
-  let find name =
-    List.find_opt (fun (n, _, _) -> String.equal n name) rows
-  in
-  match
-    ( find "netdebug/B1 device: forward one packet",
-      find "netdebug/B11 device: forward one packet, spans 1/1" )
-  with
-  | Some (_, Some b1, _), Some (_, Some b11, _) when b1 > 0.0 ->
-      let ratio = b11 /. b1 in
-      Format.printf "telemetry overhead gate: B11/B1 = %.3f (limit %.2f)@." ratio max_ratio;
-      if ratio > max_ratio then begin
-        Format.eprintf "FAIL: full span sampling costs %.1f%% over baseline (limit %.0f%%)@."
-          ((ratio -. 1.0) *. 100.0)
-          ((max_ratio -. 1.0) *. 100.0);
-        exit 1
-      end
-  | _ ->
-      Format.eprintf "FAIL: overhead gate needs B1 and B11 estimates in the results@.";
-      exit 1
+  let find name = List.find_opt (fun (n, _, _) -> String.equal n name) rows in
+  let failed = ref false in
+  List.iter
+    (fun (instrumented, baseline, label) ->
+      match (find instrumented, find baseline) with
+      | Some (_, Some cost, _), Some (_, Some base, _) when base > 0.0 ->
+          let ratio = cost /. base in
+          Format.printf "overhead gate: %s = %.3f (limit %.2f)@." label ratio max_ratio;
+          if ratio > max_ratio then begin
+            Format.eprintf "FAIL: %s costs %.1f%% over baseline (limit %.0f%%)@." label
+              ((ratio -. 1.0) *. 100.0)
+              ((max_ratio -. 1.0) *. 100.0);
+            failed := true
+          end
+      | _ ->
+          Format.eprintf "FAIL: overhead gate needs %s and %s estimates in the results@."
+            instrumented baseline;
+          failed := true)
+    overhead_pairs;
+  if !failed then exit 1
 
 let run ?json ?(check_overhead = false) () =
   Format.printf "@.==== Microbenchmarks (Bechamel) ====@.@.";

@@ -48,25 +48,60 @@ let program_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
 
-let quirk_names =
-  List.map (fun q -> (Quirks.name q, q)) Quirks.all
+(* Shared cmdliner terms. Quirk selection, the fuzz-vector count and the
+   fuzz PRNG seed appear on several subcommands — defined once here. *)
+module Common_args = struct
+  let quirk_names = List.map (fun q -> (Quirks.name q, q)) Quirks.all
 
-let quirks_arg =
-  let doc =
-    Printf.sprintf
-      "Toolchain quirk to emulate (repeatable). One of: %s. Default: the shipped \
-       toolchain (%s). Use $(b,--faithful) for a fixed compiler."
-      (String.concat ", " (List.map fst quirk_names))
-      (String.concat ", " (List.map Quirks.name Quirks.default))
-  in
-  Arg.(value & opt_all (enum quirk_names) [] & info [ "quirk" ] ~docv:"QUIRK" ~doc)
+  let quirks =
+    let doc =
+      Printf.sprintf
+        "Toolchain quirk to emulate (repeatable). One of: %s. Default: the shipped \
+         toolchain (%s). Use $(b,--faithful) for a fixed compiler."
+        (String.concat ", " (List.map fst quirk_names))
+        (String.concat ", " (List.map Quirks.name Quirks.default))
+    in
+    Arg.(value & opt_all (enum quirk_names) [] & info [ "quirk" ] ~docv:"QUIRK" ~doc)
 
-let faithful_arg =
-  let doc = "Compile with a faithful (fixed) toolchain: no quirks." in
-  Arg.(value & flag & info [ "faithful" ] ~doc)
+  let faithful =
+    let doc = "Compile with a faithful (fixed) toolchain: no quirks." in
+    Arg.(value & flag & info [ "faithful" ] ~doc)
 
-let effective_quirks quirks faithful =
-  if faithful then Quirks.none else if quirks = [] then Quirks.default else quirks
+  let effective_quirks quirks faithful =
+    if faithful then Quirks.none else if quirks = [] then Quirks.default else quirks
+
+  let fuzz =
+    Arg.(value & opt int 32 & info [ "fuzz" ] ~docv:"N" ~doc:"Extra fuzz vectors.")
+
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"PRNG seed for the fuzz vectors (default: the built-in seed, 77).")
+
+  (* whole-set quirk selection: none | default | all | name,name,... *)
+  let quirk_set =
+    let parse = function
+      | "none" -> Ok Quirks.none
+      | "default" -> Ok Quirks.default
+      | "all" -> Ok Quirks.all
+      | s ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | n :: rest -> (
+                match List.assoc_opt (String.trim n) quirk_names with
+                | Some q -> go (q :: acc) rest
+                | None ->
+                    Error
+                      (`Msg
+                        (Printf.sprintf "unknown quirk %S (try: none, default, all, %s)" n
+                           (String.concat ", " (List.map fst quirk_names)))))
+          in
+          go [] (String.split_on_char ',' s)
+    in
+    Arg.conv (parse, Quirks.pp)
+end
 
 let target_arg =
   let doc = "Target platform: sume or small." in
@@ -132,7 +167,7 @@ let export_cmd =
 let compile_cmd =
   let run name quirks faithful config =
     let b = or_die (find_bundle name) in
-    let quirks = effective_quirks quirks faithful in
+    let quirks = Common_args.effective_quirks quirks faithful in
     match Compile.compile ~quirks ~config b.Programs.program with
     | Ok report -> Format.printf "%a@." Compile.pp_report report
     | Error errs ->
@@ -140,7 +175,8 @@ let compile_cmd =
         exit 1
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a program and report stages/resources")
-    Term.(const run $ program_arg $ quirks_arg $ faithful_arg $ target_arg)
+    Term.(
+      const run $ program_arg $ Common_args.quirks $ Common_args.faithful $ target_arg)
 
 (* ---------------- verify ---------------- *)
 
@@ -189,15 +225,15 @@ let print_span_tree ppf spans =
 (* ---------------- validate ---------------- *)
 
 let validate_cmd =
-  let run name quirks faithful fuzz pcap_out telemetry_dir =
+  let run name quirks faithful fuzz fuzz_seed pcap_out telemetry_dir =
     let b = or_die (find_bundle name) in
-    let quirks = effective_quirks quirks faithful in
+    let quirks = Common_args.effective_quirks quirks faithful in
     Format.printf "toolchain quirks: %a@." Quirks.pp quirks;
     let h = Harness.deploy ~quirks b in
     (match Harness.self_check h with
     | Ok facts -> List.iter (fun f -> Format.printf "[ok] %s@." f) facts
     | Error e -> or_die (Error e));
-    let report = Usecases.Functional.run ~fuzz h in
+    let report = Usecases.Functional.run ~fuzz ?fuzz_seed h in
     Format.printf "@.%a@." Usecases.Functional.pp report;
     (match pcap_out with
     | Some path ->
@@ -222,9 +258,6 @@ let validate_cmd =
     | None -> ());
     if not (Usecases.Functional.passed report) then exit 1
   in
-  let fuzz_arg =
-    Arg.(value & opt int 32 & info [ "fuzz" ] ~docv:"N" ~doc:"Extra fuzz vectors.")
-  in
   let pcap_arg =
     Arg.(
       value
@@ -245,8 +278,8 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Deploy on the simulated device and validate against the specification")
     Term.(
-      const run $ program_arg $ quirks_arg $ faithful_arg $ fuzz_arg $ pcap_arg
-      $ telemetry_arg)
+      const run $ program_arg $ Common_args.quirks $ Common_args.faithful
+      $ Common_args.fuzz $ Common_args.seed $ pcap_arg $ telemetry_arg)
 
 (* ---------------- localize ---------------- *)
 
@@ -337,16 +370,16 @@ let format_names =
   [ ("chrome", `Chrome); ("jsonl", `Jsonl); ("text", `Text) ]
 
 let trace_cmd =
-  let run name quirks faithful format sampling fuzz out =
+  let run name quirks faithful format sampling fuzz fuzz_seed out =
     let b = or_die (find_bundle name) in
-    let quirks = effective_quirks quirks faithful in
+    let quirks = Common_args.effective_quirks quirks faithful in
     let h = Harness.deploy ~quirks ~span_sampling:sampling b in
     (* the same traffic a validate run drives: self-check probes plus the
        functional battery, so every sampled packet shows up as a span tree *)
     (match Harness.self_check h with
     | Ok _ -> ()
     | Error e -> or_die (Error e));
-    ignore (Usecases.Functional.run ~fuzz h);
+    ignore (Usecases.Functional.run ~fuzz ?fuzz_seed h);
     let spans = Device.spans h.Harness.device in
     let rendered =
       match format with
@@ -378,9 +411,6 @@ let trace_cmd =
       & info [ "sampling" ] ~docv:"N"
           ~doc:"Span 1-in-$(docv) packets (default 1: every packet).")
   in
-  let fuzz_arg =
-    Arg.(value & opt int 32 & info [ "fuzz" ] ~docv:"N" ~doc:"Extra fuzz vectors.")
-  in
   let out_arg =
     Arg.(
       value
@@ -392,20 +422,20 @@ let trace_cmd =
        ~doc:
          "Run validation traffic on the simulated device and export per-packet spans")
     Term.(
-      const run $ program_arg $ quirks_arg $ faithful_arg $ format_arg $ sampling_arg
-      $ fuzz_arg $ out_arg)
+      const run $ program_arg $ Common_args.quirks $ Common_args.faithful $ format_arg
+      $ sampling_arg $ Common_args.fuzz $ Common_args.seed $ out_arg)
 
 (* ---------------- metrics ---------------- *)
 
 let metrics_cmd =
-  let run name quirks faithful fuzz out =
+  let run name quirks faithful fuzz fuzz_seed out =
     let b = or_die (find_bundle name) in
-    let quirks = effective_quirks quirks faithful in
+    let quirks = Common_args.effective_quirks quirks faithful in
     let h = Harness.deploy ~quirks b in
     (match Harness.self_check h with
     | Ok _ -> ()
     | Error e -> or_die (Error e));
-    ignore (Usecases.Functional.run ~fuzz h);
+    ignore (Usecases.Functional.run ~fuzz ?fuzz_seed h);
     let rendered = Telemetry.Export.prometheus (Device.metrics h.Harness.device) in
     match out with
     | Some path ->
@@ -414,9 +444,6 @@ let metrics_cmd =
         close_out oc;
         Format.eprintf "wrote %s@." path
     | None -> print_string rendered
-  in
-  let fuzz_arg =
-    Arg.(value & opt int 32 & info [ "fuzz" ] ~docv:"N" ~doc:"Extra fuzz vectors.")
   in
   let out_arg =
     Arg.(
@@ -429,7 +456,95 @@ let metrics_cmd =
        ~doc:
          "Run validation traffic and print the device metrics registry in Prometheus \
           text exposition")
-    Term.(const run $ program_arg $ quirks_arg $ faithful_arg $ fuzz_arg $ out_arg)
+    Term.(
+      const run $ program_arg $ Common_args.quirks $ Common_args.faithful
+      $ Common_args.fuzz $ Common_args.seed $ out_arg)
+
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let run name quirk_set quirks faithful budget seed blind report_out pcap_out =
+    let b = or_die (find_bundle name) in
+    let quirks =
+      match quirk_set with
+      | Some q -> q
+      | None -> Common_args.effective_quirks quirks faithful
+    in
+    let report =
+      (if blind then Fuzz.Campaign.run_blind else Fuzz.Campaign.run) ~quirks ~budget ~seed b
+    in
+    let text = Fuzz.Campaign.render report in
+    print_string text;
+    (match report_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Format.eprintf "wrote %s@." path
+    | None -> ());
+    match pcap_out with
+    | Some path ->
+        let records =
+          List.map
+            (fun d ->
+              {
+                Packet.Pcap.ts_ns = 0.0;
+                data = Bitutil.Bitstring.to_string d.Fuzz.Campaign.dv_repro;
+              })
+            report.Fuzz.Campaign.rp_divergences
+        in
+        Packet.Pcap.write_file path records;
+        Format.eprintf "wrote %d minimized repro(s) to %s@." (List.length records) path
+    | None -> ()
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 10000
+      & info [ "budget" ] ~docv:"N" ~doc:"Differential-oracle executions to spend.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Campaign PRNG seed.")
+  in
+  let quirk_set_arg =
+    Arg.(
+      value
+      & opt (some Common_args.quirk_set) None
+      & info [ "quirks" ] ~docv:"SPEC"
+          ~doc:
+            "Quirk set to compile with: $(b,none), $(b,default), $(b,all) or a \
+             comma-separated list of quirk names. Overrides $(b,--quirk)/$(b,--faithful).")
+  in
+  let blind_arg =
+    Arg.(
+      value & flag
+      & info [ "blind" ]
+          ~doc:
+            "Disable coverage guidance and drive the oracle with the blind \
+             $(b,Vectors.fuzz) traffic (the baseline the guided campaign is compared \
+             against).")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the text report to this file.")
+  in
+  let pcap_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pcap" ] ~docv:"FILE"
+          ~doc:"Write the minimized reproducers to a pcap capture.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run a deterministic coverage-guided differential fuzzing campaign: spec \
+          interpreter vs the quirked compiled device, with minimized, \
+          quirk-attributed reproducers")
+    Term.(
+      const run $ program_arg $ quirk_set_arg $ Common_args.quirks $ Common_args.faithful
+      $ budget_arg $ seed_arg $ blind_arg $ report_arg $ pcap_arg)
 
 (* ---------------- usecases ---------------- *)
 
@@ -489,4 +604,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; export_cmd; compile_cmd; verify_cmd; validate_cmd;
-            localize_cmd; journey_cmd; trace_cmd; metrics_cmd; usecases_cmd ]))
+            localize_cmd; journey_cmd; trace_cmd; metrics_cmd; fuzz_cmd;
+            usecases_cmd ]))

@@ -1,0 +1,173 @@
+module Programs = P4ir.Programs
+module Ast = P4ir.Ast
+module Quirks = Sdnet.Quirks
+module Vectors = Netdebug.Vectors
+module Bitstring = Bitutil.Bitstring
+module Prng = Bitutil.Prng
+module Registry = Telemetry.Registry
+
+type divergence = {
+  dv_fingerprint : string;
+  dv_kind : string;
+  dv_spec : string;
+  dv_dev : string;
+  dv_input : Bitstring.t;  (** the first input that exposed it *)
+  dv_repro : Bitstring.t;  (** minimized reproducer *)
+  dv_found_at : int;  (** 1-based campaign execution index of first sighting *)
+  dv_quirks : Quirks.quirk list;  (** attribution by quirk knock-out *)
+}
+
+type report = {
+  rp_program : string;
+  rp_mode : string;  (** "guided" or "blind" *)
+  rp_quirks : Quirks.t;
+  rp_seed : int;
+  rp_budget : int;
+  rp_executions : int;  (** campaign-loop executions (== budget) *)
+  rp_total_executions : int;  (** including minimization replays *)
+  rp_edges : int;
+  rp_corpus : int;
+  rp_divergences : divergence list;  (** in discovery order *)
+}
+
+(* Well-formed, program-agnostic starting points; everything malformed is
+   the mutators' job. Deliberately NOT symbolic-execution witnesses: the
+   campaign must discover interesting paths itself, not be handed them. *)
+let seeds () =
+  [
+    Packet.serialize (Packet.udp_ipv4 ~dst:0x0A000001L ());
+    Packet.serialize (Packet.tcp_ipv4 ~dst:0xC0A80101L ());
+    Packet.serialize (Packet.make [ Packet.Eth (Packet.Eth.make ()) ] ());
+  ]
+
+let divergences_of oracle layout table order =
+  List.rev_map
+    (fun fp ->
+      let input, d, found_at = Hashtbl.find table fp in
+      let repro = Minimize.minimize oracle layout ~fingerprint:fp input in
+      {
+        dv_fingerprint = fp;
+        dv_kind = Oracle.kind_name d.Oracle.d_kind;
+        dv_spec = d.Oracle.d_spec;
+        dv_dev = d.Oracle.d_dev;
+        dv_input = input;
+        dv_repro = repro;
+        dv_found_at = found_at;
+        dv_quirks = Oracle.attribute oracle repro;
+      })
+    order
+
+let finish ~mode ~seed ~budget ~execs oracle layout table order corpus_size =
+  let divergences = divergences_of oracle layout table order in
+  {
+    rp_program = (Oracle.bundle oracle).Programs.program.Ast.p_name;
+    rp_mode = mode;
+    rp_quirks = Oracle.quirks oracle;
+    rp_seed = seed;
+    rp_budget = budget;
+    rp_executions = execs;
+    rp_total_executions = Oracle.executions oracle;
+    rp_edges = Coverage.edges (Oracle.coverage oracle);
+    rp_corpus = corpus_size;
+    rp_divergences = divergences;
+  }
+
+let record table order execs input (d : Oracle.divergence) =
+  if not (Hashtbl.mem table d.Oracle.d_fingerprint) then begin
+    Hashtbl.add table d.Oracle.d_fingerprint (input, d, execs);
+    order := d.Oracle.d_fingerprint :: !order
+  end
+
+let run ?quirks ~budget ~seed bundle =
+  if budget < 1 then invalid_arg "Fuzz.Campaign.run: budget must be positive";
+  let oracle = Oracle.create ?quirks bundle in
+  let layout = Mutate.layout_of bundle in
+  let prng = Prng.create seed in
+  let corpus = Corpus.create () in
+  Registry.gauge (Oracle.metrics oracle) ~help:"inputs in the fuzzing corpus"
+    "fuzz/corpus_size" (fun () -> float_of_int (Corpus.size corpus));
+  let table = Hashtbl.create 8 in
+  let order = ref [] in
+  let execs = ref 0 in
+  (* seed phase: every seed joins the corpus; seed executions count
+     against the budget like any other *)
+  List.iter
+    (fun s ->
+      Corpus.add corpus s;
+      if !execs < budget then begin
+        incr execs;
+        match (Oracle.execute oracle s).Oracle.x_divergence with
+        | Some d -> record table order !execs s d
+        | None -> ()
+      end)
+    (seeds ());
+  (* mutation loop: energy-weighted parent choice; children that uncover
+     a new edge join the corpus and reward their parent *)
+  while !execs < budget do
+    let parent = Corpus.pick corpus prng in
+    let input = Mutate.mutate layout prng (Corpus.bits parent) in
+    incr execs;
+    let before = Coverage.edges (Oracle.coverage oracle) in
+    let x = Oracle.execute oracle input in
+    if Coverage.edges (Oracle.coverage oracle) > before then begin
+      Corpus.add corpus input;
+      Corpus.reward corpus parent
+    end;
+    match x.Oracle.x_divergence with
+    | Some d -> record table order !execs input d
+    | None -> ()
+  done;
+  finish ~mode:"guided" ~seed ~budget ~execs:!execs oracle layout table !order
+    (Corpus.size corpus)
+
+(* The blind baseline: the same oracle, coverage accounting and
+   post-processing, driven by Vectors.fuzz's feedback-free traffic — the
+   control arm for the guided-vs-blind coverage comparison. *)
+let run_blind ?quirks ~budget ~seed bundle =
+  if budget < 1 then invalid_arg "Fuzz.Campaign.run_blind: budget must be positive";
+  let oracle = Oracle.create ?quirks bundle in
+  let layout = Mutate.layout_of bundle in
+  let table = Hashtbl.create 8 in
+  let order = ref [] in
+  let execs = ref 0 in
+  List.iter
+    (fun input ->
+      incr execs;
+      match (Oracle.execute oracle input).Oracle.x_divergence with
+      | Some d -> record table order !execs input d
+      | None -> ())
+    (Vectors.fuzz ~seed ~count:budget ());
+  finish ~mode:"blind" ~seed ~budget ~execs:!execs oracle layout table !order 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic text: equal campaigns render byte-identically (golden
+   tested), so no wall-clock, no machine-dependent data. *)
+let render r =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "fuzz campaign: %s\n" r.rp_program;
+  pf "  mode %s, quirks [%s], seed %d, budget %d\n" r.rp_mode
+    (String.concat ", " (List.map Quirks.name r.rp_quirks))
+    r.rp_seed r.rp_budget;
+  pf "  executions %d (%d with shrinking), coverage %d edges, corpus %d\n"
+    r.rp_executions r.rp_total_executions r.rp_edges r.rp_corpus;
+  pf "  divergences: %d\n" (List.length r.rp_divergences);
+  List.iteri
+    (fun i d ->
+      pf "  [%d] %s divergence at execution %d\n" (i + 1) d.dv_kind d.dv_found_at;
+      pf "      spec %s\n" d.dv_spec;
+      pf "      dev  %s\n" d.dv_dev;
+      pf "      quirks: %s\n"
+        (match d.dv_quirks with
+        | [] -> "(unattributed)"
+        | qs -> String.concat ", " (List.map Quirks.name qs));
+      pf "      repro %d bytes: %s\n"
+        (Bitstring.byte_length d.dv_repro)
+        (Bitstring.to_hex d.dv_repro))
+    r.rp_divergences;
+  Buffer.contents b
+
+let pp ppf r = Format.pp_print_string ppf (render r)

@@ -1,0 +1,52 @@
+(** Deterministic coverage-guided differential fuzzing campaigns.
+
+    A campaign seeds a corpus with well-formed traffic, then repeatedly
+    picks an input (energy-weighted), mutates it with the
+    header-structure-aware mutators and pushes the child through the
+    differential {!Oracle}. Children that light up a new coverage edge
+    join the corpus and reward their parent; divergences are deduplicated
+    by fingerprint, minimized and attributed to toolchain quirks by
+    knock-out. Everything is reproducible from the integer seed. *)
+
+type divergence = {
+  dv_fingerprint : string;
+  dv_kind : string;  (** "verdict", "port" or "payload" *)
+  dv_spec : string;
+  dv_dev : string;
+  dv_input : Bitutil.Bitstring.t;  (** first input that exposed it *)
+  dv_repro : Bitutil.Bitstring.t;  (** minimized reproducer *)
+  dv_found_at : int;  (** 1-based campaign execution index *)
+  dv_quirks : Sdnet.Quirks.quirk list;  (** culpable quirks (knock-out) *)
+}
+
+type report = {
+  rp_program : string;
+  rp_mode : string;  (** "guided" or "blind" *)
+  rp_quirks : Sdnet.Quirks.t;
+  rp_seed : int;
+  rp_budget : int;
+  rp_executions : int;  (** campaign-loop executions (== budget) *)
+  rp_total_executions : int;  (** including minimization replays *)
+  rp_edges : int;  (** distinct coverage-map edges covered *)
+  rp_corpus : int;
+  rp_divergences : divergence list;  (** in discovery order *)
+}
+
+val run :
+  ?quirks:Sdnet.Quirks.t -> budget:int -> seed:int -> P4ir.Programs.bundle -> report
+(** Coverage-guided campaign of exactly [budget] oracle executions (plus
+    minimization replays, reported separately). [quirks] defaults to the
+    shipped toolchain ({!Sdnet.Quirks.default}). Equal seeds give
+    bit-identical reports. @raise Invalid_argument when [budget < 1]. *)
+
+val run_blind :
+  ?quirks:Sdnet.Quirks.t -> budget:int -> seed:int -> P4ir.Programs.bundle -> report
+(** Control arm: the same oracle and coverage accounting driven by the
+    feedback-free {!Netdebug.Vectors.fuzz} traffic — the baseline the
+    guided campaign's edge count is compared against. *)
+
+val render : report -> string
+(** Deterministic text report (golden-tested; no wall-clock or
+    machine-dependent content). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,49 @@
+module Bitstring = Bitutil.Bitstring
+module Prng = Bitutil.Prng
+
+type item = { it_bits : Bitstring.t; mutable it_energy : int }
+
+type t = {
+  mutable items : item array;
+  mutable n : int;
+  mutable total_energy : int;
+}
+
+let base_energy = 4
+let max_energy = 64
+
+let create () =
+  { items = Array.make 16 { it_bits = Bitstring.empty; it_energy = 0 }; n = 0;
+    total_energy = 0 }
+
+let size t = t.n
+
+let add t bits =
+  if t.n = Array.length t.items then begin
+    let bigger = Array.make (2 * t.n) t.items.(0) in
+    Array.blit t.items 0 bigger 0 t.n;
+    t.items <- bigger
+  end;
+  t.items.(t.n) <- { it_bits = bits; it_energy = base_energy };
+  t.n <- t.n + 1;
+  t.total_energy <- t.total_energy + base_energy
+
+let bits item = item.it_bits
+
+(* Energy-weighted pick: inputs that recently produced new coverage carry
+   more energy and therefore get mutated more often. Deterministic given
+   the PRNG stream. *)
+let pick t prng =
+  if t.n = 0 then invalid_arg "Fuzz.Corpus.pick: empty corpus";
+  let r = Prng.int prng t.total_energy in
+  let rec go i acc =
+    let acc = acc + t.items.(i).it_energy in
+    if r < acc || i = t.n - 1 then t.items.(i) else go (i + 1) acc
+  in
+  go 0 0
+
+(* Reward the parent of an input that uncovered a new edge. *)
+let reward t item =
+  let next = min max_energy (2 * item.it_energy) in
+  t.total_energy <- t.total_energy + (next - item.it_energy);
+  item.it_energy <- next

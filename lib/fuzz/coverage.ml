@@ -1,0 +1,100 @@
+module Interp = P4ir.Interp
+module Parse = P4ir.Parse
+module Stdmeta = P4ir.Stdmeta
+module Device = Target.Device
+
+(* Edge labels are interned to dense bit indices on first sight; the hit
+   bitmap grows as the label space does. The label universe is small (a
+   few dozen edges per program) so the strings themselves stay cheap. *)
+type t = {
+  ids : (string, int) Hashtbl.t;  (* edge label -> bit index *)
+  mutable bits : Bytes.t;  (* hit bitmap over interned edges *)
+  mutable covered : int;  (* population count of [bits] *)
+}
+
+let create () = { ids = Hashtbl.create 256; bits = Bytes.make 64 '\000'; covered = 0 }
+
+let intern t label =
+  match Hashtbl.find_opt t.ids label with
+  | Some i -> i
+  | None ->
+      let i = Hashtbl.length t.ids in
+      Hashtbl.add t.ids label i;
+      i
+
+let ensure t i =
+  let need = (i lsr 3) + 1 in
+  let have = Bytes.length t.bits in
+  if have < need then begin
+    let nb = Bytes.make (max need (2 * have)) '\000' in
+    Bytes.blit t.bits 0 nb 0 have;
+    t.bits <- nb
+  end
+
+let note t label =
+  let i = intern t label in
+  ensure t i;
+  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
+  let cur = Char.code (Bytes.get t.bits byte) in
+  if cur land mask = 0 then begin
+    Bytes.set t.bits byte (Char.chr (cur lor mask));
+    t.covered <- t.covered + 1;
+    true
+  end
+  else false
+
+let edges t = t.covered
+
+let labels t =
+  Hashtbl.fold (fun l _ acc -> l :: acc) t.ids [] |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Edge extraction                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_final (o : Parse.outcome) =
+  if o.Parse.accepted then "accept" else "reject:" ^ Stdmeta.error_name o.Parse.error
+
+(* One edge per parser-state transition, including the terminal edge into
+   accept / reject:<error>. *)
+let record_parse t ~pre (o : Parse.outcome) =
+  let rec go = function
+    | [] -> ()
+    | [ last ] -> ignore (note t (pre ^ "p:" ^ last ^ "->" ^ parse_final o))
+    | a :: (b :: _ as rest) ->
+        ignore (note t (pre ^ "p:" ^ a ^ "->" ^ b));
+        go rest
+  in
+  go o.Parse.states_visited
+
+let record_table t ~pre ~table ~hit ~action =
+  ignore (note t (pre ^ "t:" ^ table ^ (if hit then ":hit:" ^ action else ":miss")))
+
+let record_spec t (obs : Interp.observation) =
+  record_parse t ~pre:"spec/" obs.Interp.parser;
+  List.iter
+    (fun (table, hit, action) -> record_table t ~pre:"spec/" ~table ~hit ~action)
+    obs.Interp.tables;
+  ignore
+    (note t
+       (match obs.Interp.result with
+       | Interp.Forwarded (p, _) -> "spec/end:fwd:" ^ string_of_int p
+       | Interp.Dropped r -> "spec/end:drop:" ^ r))
+
+let attach_device t dev =
+  Device.set_taps dev
+    (Some
+       {
+         Device.tp_parse = (fun o -> record_parse t ~pre:"dev/" o);
+         tp_table =
+           (fun ~table ~hit ~action -> record_table t ~pre:"dev/" ~table ~hit ~action);
+         tp_disposition =
+           (fun d ->
+             ignore
+               (note t
+                  (match d with
+                  | Device.Emitted o -> "dev/end:emit:" ^ string_of_int o.Device.o_port
+                  | Device.Dropped_pipeline r -> "dev/end:drop:" ^ r
+                  | Device.Dropped_queue -> "dev/end:queue-drop"
+                  | Device.Lost_in_stage s -> "dev/end:lost:" ^ s)));
+       })

@@ -1,0 +1,31 @@
+(** Coverage map: an interned bitmap over behavioural edges.
+
+    Edges are parser-state transitions (including the terminal edge into
+    accept / reject:<error>), table applies (hit with the chosen action,
+    or miss), and per-packet end states (emit port / drop reason). Each
+    edge exists twice, prefixed ["spec/"] or ["dev/"], so the map counts
+    what each side of the differential oracle has exercised — a packet
+    that makes only the quirked device take a new path still counts as
+    progress. *)
+
+type t
+
+val create : unit -> t
+
+val note : t -> string -> bool
+(** Mark one edge hit; [true] when it was not covered before. *)
+
+val edges : t -> int
+(** Distinct edges covered so far. *)
+
+val labels : t -> string list
+(** Every interned edge label, sorted (for reports and debugging). *)
+
+val record_spec : t -> P4ir.Interp.observation -> unit
+(** Feed one reference-interpreter run: parser transitions, table
+    hit/miss + action, and the final forward/drop edge, all under
+    ["spec/"]. *)
+
+val attach_device : t -> Target.Device.t -> unit
+(** Install {!Target.Device.set_taps} hooks that feed the same edge kinds
+    under ["dev/"] for every packet the device processes. *)

@@ -1,0 +1,10 @@
+(** Reproducer minimization.
+
+    Deterministic shrinking of a diverging input: tail truncation in
+    halving byte chunks, then zeroing of every header field that does not
+    contribute, both gated on the divergence keeping the exact same
+    fingerprint. The executions this costs are counted by the oracle. *)
+
+val minimize :
+  Oracle.t -> Mutate.layout -> fingerprint:string -> Bitutil.Bitstring.t ->
+  Bitutil.Bitstring.t

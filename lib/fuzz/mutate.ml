@@ -1,0 +1,154 @@
+module Ast = P4ir.Ast
+module Value = P4ir.Value
+module Entry = P4ir.Entry
+module Programs = P4ir.Programs
+module Bitstring = Bitutil.Bitstring
+module Prng = Bitutil.Prng
+
+type field = { fl_header : string; fl_field : string; fl_off : int; fl_width : int }
+
+type layout = {
+  fields : field array;  (* wire-order field map, bit offsets from packet start *)
+  total_bits : int;
+  dict : int64 array;  (* interesting constants mined from the program *)
+}
+
+(* Wire order approximated by parser-state declaration order (the start
+   state is first and programs list states in extraction order); each
+   header contributes its fields back-to-back. Branchy parsers make this
+   an approximation — good enough to aim mutations at field boundaries. *)
+let layout_of (bundle : Programs.bundle) =
+  let program = bundle.Programs.program in
+  let seen = Hashtbl.create 8 in
+  let headers =
+    List.concat_map (fun (st : Ast.parser_state) -> st.Ast.ps_extracts) program.Ast.p_parser
+    |> List.filter (fun h ->
+           if Hashtbl.mem seen h then false
+           else begin
+             Hashtbl.add seen h ();
+             true
+           end)
+  in
+  let fields = ref [] in
+  let off = ref 0 in
+  List.iter
+    (fun hname ->
+      match Ast.find_header program hname with
+      | None -> ()
+      | Some hd ->
+          List.iter
+            (fun (f : Ast.field_decl) ->
+              fields :=
+                { fl_header = hname; fl_field = f.Ast.f_name; fl_off = !off;
+                  fl_width = f.Ast.f_width }
+                :: !fields;
+              off := !off + f.Ast.f_width)
+            hd.Ast.h_fields)
+    headers;
+  (* dictionary: the constants the program's control flow pivots on —
+     parser select-case keysets and installed table-entry key values *)
+  let dict = ref [] in
+  List.iter
+    (fun (st : Ast.parser_state) ->
+      match st.Ast.ps_transition with
+      | Ast.Direct _ -> ()
+      | Ast.Select (_, cases, _) ->
+          List.iter
+            (fun (c : Ast.select_case) ->
+              List.iter (fun (v, _) -> dict := Value.to_int64 v :: !dict) c.Ast.sc_keysets)
+            cases)
+    program.Ast.p_parser;
+  List.iter
+    (fun ((_ : string), (e : Entry.t)) ->
+      List.iter
+        (function
+          | Entry.Exact_v v | Entry.Lpm_v (v, _) | Entry.Ternary_v (v, _) ->
+              dict := Value.to_int64 v :: !dict)
+        e.Entry.keys)
+    bundle.Programs.entries;
+  {
+    fields = Array.of_list (List.rev !fields);
+    total_bits = !off;
+    dict = Array.of_list (List.sort_uniq Int64.compare !dict);
+  }
+
+let boundary prng width =
+  let maxv = if width >= 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L in
+  match Prng.int prng 4 with
+  | 0 -> 0L
+  | 1 -> 1L
+  | 2 -> maxv
+  | _ -> Int64.sub maxv 1L
+
+(* A field fully contained in the packet, uniformly among candidates
+   (scan from a random start so short packets still pick fairly). *)
+let pick_field layout prng bits =
+  let len = Bitstring.length bits in
+  let n = Array.length layout.fields in
+  if n = 0 then None
+  else begin
+    let start = Prng.int prng n in
+    let rec go k =
+      if k = n then None
+      else
+        let f = layout.fields.((start + k) mod n) in
+        if f.fl_off + f.fl_width <= len then Some f else go (k + 1)
+    in
+    go 0
+  end
+
+let flip_bit bits off =
+  let cur = Bitstring.extract bits ~off ~width:1 in
+  Bitstring.set_int64 bits ~off ~width:1 (Int64.logxor cur 1L)
+
+let mutate_once layout prng bits =
+  let len = Bitstring.length bits in
+  match Prng.int prng 7 with
+  | 0 -> (
+      (* field-boundary bit flip *)
+      match pick_field layout prng bits with
+      | Some f -> flip_bit bits (f.fl_off + Prng.int prng f.fl_width)
+      | None -> bits)
+  | 1 -> (
+      (* field boundary value: 0, 1, max, max-1 *)
+      match pick_field layout prng bits with
+      | Some f ->
+          Bitstring.set_int64 bits ~off:f.fl_off ~width:f.fl_width (boundary prng f.fl_width)
+      | None -> bits)
+  | 2 -> (
+      (* dictionary value into a field *)
+      match pick_field layout prng bits with
+      | Some f when Array.length layout.dict > 0 ->
+          Bitstring.set_int64 bits ~off:f.fl_off ~width:f.fl_width
+            (Prng.choose prng layout.dict)
+      | _ -> bits)
+  | 3 ->
+      (* havoc: a handful of flips anywhere *)
+      if len = 0 then bits
+      else begin
+        let n = 1 + Prng.int prng 8 in
+        let b = ref bits in
+        for _ = 1 to n do
+          b := flip_bit !b (Prng.int prng len)
+        done;
+        !b
+      end
+  | 4 ->
+      (* truncate at a byte boundary (cuts headers mid-extraction) *)
+      if len <= 8 then bits
+      else Bitstring.sub bits ~off:0 ~len:(8 * (1 + Prng.int prng ((len / 8) - 1)))
+  | 5 ->
+      (* splice: extend the tail with random bytes *)
+      Bitstring.append bits (Bitstring.random prng (8 * (1 + Prng.int prng 16)))
+  | _ ->
+      (* random byte overwrite *)
+      if len < 8 then bits
+      else
+        let off = 8 * Prng.int prng (len / 8) in
+        Bitstring.set_int64 bits ~off ~width:8 (Prng.bits prng ~width:8)
+
+(* Stack 1-3 mutations: single field tweaks find boundary bugs, stacked
+   ones escape local minima. *)
+let mutate layout prng bits =
+  let rec go n bits = if n = 0 then bits else go (n - 1) (mutate_once layout prng bits) in
+  go (1 + Prng.int prng 3) bits

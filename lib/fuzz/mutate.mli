@@ -1,0 +1,24 @@
+(** Header-structure-aware mutators.
+
+    A {!layout} maps a program's expected wire format to (header, field,
+    bit offset, width) so mutations can target field boundaries instead of
+    blind bit soup, plus a dictionary of the constants the program's
+    control flow pivots on (parser select cases, installed entry keys).
+    All randomness flows through the supplied {!Bitutil.Prng}. *)
+
+type field = { fl_header : string; fl_field : string; fl_off : int; fl_width : int }
+
+type layout = {
+  fields : field array;  (** wire order, bit offsets from packet start *)
+  total_bits : int;
+  dict : int64 array;  (** sorted, deduplicated *)
+}
+
+val layout_of : P4ir.Programs.bundle -> layout
+(** Derive the layout from the bundle's parser (extraction order) and
+    header declarations; the dictionary also mines the bundle's entries. *)
+
+val mutate : layout -> Bitutil.Prng.t -> Bitutil.Bitstring.t -> Bitutil.Bitstring.t
+(** Apply 1-3 stacked mutations drawn from: field bit flip, field boundary
+    value (0/1/max/max-1), dictionary value, havoc bit flips, byte-aligned
+    truncation, random-tail splice, byte overwrite. *)

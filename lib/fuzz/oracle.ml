@@ -1,0 +1,142 @@
+module Ast = P4ir.Ast
+module Value = P4ir.Value
+module Interp = P4ir.Interp
+module Regstate = P4ir.Regstate
+module Programs = P4ir.Programs
+module Quirks = Sdnet.Quirks
+module Device = Target.Device
+module Harness = Netdebug.Harness
+module Controller = Netdebug.Controller
+module Wire = Netdebug.Wire
+module Bitstring = Bitutil.Bitstring
+module Counter = Stats.Counter
+module Registry = Telemetry.Registry
+
+type dev_result = Dev_forwarded of int * Bitstring.t | Dev_dropped
+
+type kind = Verdict | Port | Payload
+
+type divergence = {
+  d_kind : kind;
+  d_spec : string;
+  d_dev : string;
+  d_fingerprint : string;
+}
+
+type exec = {
+  x_spec : Interp.result;
+  x_dev : dev_result;
+  x_divergence : divergence option;
+}
+
+type t = {
+  harness : Harness.t;
+  quirks : Quirks.t;
+  bundle : Programs.bundle;
+  coverage : Coverage.t;
+  mutable executions : int;
+  c_execs : Counter.t;
+  c_divergences : Counter.t;
+}
+
+let ok = function Ok v -> v | Error e -> invalid_arg ("Fuzz.Oracle: " ^ e)
+
+(* A checker rule that fails on every packet reaching the check point:
+   each emission lands in the capture ring with its port and bytes, so the
+   existing generator/checker loop doubles as the device-side observer. *)
+let mirror_rule =
+  { Wire.r_name = "fuzz-mirror"; r_filter = None; r_expect = Ast.Const Value.fls }
+
+let create ?(quirks = Quirks.default) bundle =
+  let harness = Harness.deploy ~quirks ~span_sampling:0 bundle in
+  let coverage = Coverage.create () in
+  Coverage.attach_device coverage harness.Harness.device;
+  ok (Controller.configure_checker harness.Harness.controller [ mirror_rule ]);
+  let metrics = Device.metrics harness.Harness.device in
+  Registry.gauge metrics ~help:"distinct coverage-map edges hit" "fuzz/edges" (fun () ->
+      float_of_int (Coverage.edges coverage));
+  {
+    harness;
+    quirks;
+    bundle;
+    coverage;
+    executions = 0;
+    c_execs =
+      Registry.counter metrics ~help:"differential-oracle executions" "fuzz/executions";
+    c_divergences =
+      Registry.counter metrics ~help:"executions whose device behaviour diverged from the specification"
+        "fuzz/divergences";
+  }
+
+let coverage t = t.coverage
+let executions t = t.executions
+let quirks t = t.quirks
+let bundle t = t.bundle
+let metrics t = Device.metrics t.harness.Harness.device
+
+let kind_name = function Verdict -> "verdict" | Port -> "port" | Payload -> "payload"
+
+let describe_spec = function
+  | Interp.Forwarded (p, _) -> "forward:port=" ^ string_of_int p
+  | Interp.Dropped r -> "drop:" ^ r
+
+let describe_dev = function
+  | Dev_forwarded (p, _) -> "forward:port=" ^ string_of_int p
+  | Dev_dropped -> "drop"
+
+let diverge kind spec dev =
+  let d_spec = describe_spec spec and d_dev = describe_dev dev in
+  Some
+    { d_kind = kind; d_spec; d_dev;
+      d_fingerprint = kind_name kind ^ "|spec=" ^ d_spec ^ "|dev=" ^ d_dev }
+
+let execute t input =
+  t.executions <- t.executions + 1;
+  Counter.incr t.c_execs;
+  let device = t.harness.Harness.device in
+  (* spec side: the reference interpreter over the same installed entries,
+     pure single-packet semantics (fresh registers) *)
+  let obs =
+    Interp.process t.bundle.Programs.program (Device.runtime device)
+      ~ingress_port:Harness.generator_port input
+  in
+  Coverage.record_spec t.coverage obs;
+  (* device side: reset persistent state so every execution is independent
+     and minimization replays faithfully, then one generator shot observed
+     by the mirror rule at the check point *)
+  Regstate.reset (Device.registers device);
+  let ctl = t.harness.Harness.controller in
+  ok (Controller.clear_test_state ctl);
+  ok (Controller.configure_generator ctl [ Controller.stream input ]);
+  ok (Controller.start_generator ctl);
+  let summary = ok (Controller.read_checker ctl) in
+  let dev =
+    match summary.Wire.cs_captures with
+    | cap :: _ -> Dev_forwarded (cap.Wire.cap_port, cap.Wire.cap_bits)
+    | [] -> Dev_dropped
+  in
+  let divergence =
+    match (obs.Interp.result, dev) with
+    | Interp.Forwarded (p, out), Dev_forwarded (q, dev_bits) ->
+        if p <> q then diverge Port obs.Interp.result dev
+        else if not (Bitstring.equal out dev_bits) then
+          diverge Payload obs.Interp.result dev
+        else None
+    | Interp.Dropped _, Dev_forwarded _ | Interp.Forwarded _, Dev_dropped ->
+        diverge Verdict obs.Interp.result dev
+    | Interp.Dropped _, Dev_dropped -> None  (* drop reasons are not observable *)
+  in
+  if divergence <> None then Counter.incr t.c_divergences;
+  { x_spec = obs.Interp.result; x_dev = dev; x_divergence = divergence }
+
+(* Attribute a reproducer to quirks by delta-debugging the quirk set: a
+   quirk is culpable iff removing just it makes the divergence vanish.
+   Each probe deploys a fresh harness, so the main campaign's coverage and
+   counters are untouched. *)
+let attribute t input =
+  List.filter
+    (fun q ->
+      let reduced = List.filter (fun q' -> q' <> q) t.quirks in
+      let probe = create ~quirks:reduced t.bundle in
+      (execute probe input).x_divergence = None)
+    t.quirks

@@ -1,0 +1,54 @@
+(** Differential oracle: one input through both sides of the validation
+    architecture.
+
+    The specification side is {!P4ir.Interp} over the deployed program and
+    entries; the device side is the sdnet-compiled pipeline driven through
+    the real NetDebug generator/checker loop (stream injection after the
+    input interfaces, a mirror rule capturing every emission at the check
+    point). Any difference in observable behaviour — forward vs drop,
+    egress port, payload bytes — is a divergence with a stable fingerprint
+    for deduplication. Both sides feed one {!Coverage} map. *)
+
+type dev_result = Dev_forwarded of int * Bitutil.Bitstring.t | Dev_dropped
+
+type kind =
+  | Verdict  (** one side forwarded, the other dropped *)
+  | Port  (** both forwarded, different egress ports *)
+  | Payload  (** same port, different bytes on the wire *)
+
+type divergence = {
+  d_kind : kind;
+  d_spec : string;  (** e.g. ["drop:parser:checksum-mismatch"] *)
+  d_dev : string;  (** e.g. ["forward:port=1"] *)
+  d_fingerprint : string;  (** stable dedup key: kind + both summaries *)
+}
+
+type exec = {
+  x_spec : P4ir.Interp.result;
+  x_dev : dev_result;
+  x_divergence : divergence option;
+}
+
+type t
+
+val create : ?quirks:Sdnet.Quirks.t -> P4ir.Programs.bundle -> t
+(** Deploy the bundle under [quirks] (default {!Sdnet.Quirks.default},
+    i.e. the shipped toolchain) with spans off, attach coverage taps and
+    the mirror rule. Registers ["fuzz/executions"], ["fuzz/divergences"]
+    and the ["fuzz/edges"] gauge on the device's metrics registry. *)
+
+val execute : t -> Bitutil.Bitstring.t -> exec
+(** One differential execution. Device registers are reset first so
+    executions are independent and reproducers replay faithfully. *)
+
+val attribute : t -> Bitutil.Bitstring.t -> Sdnet.Quirks.quirk list
+(** Which active quirks this diverging input implicates: quirk [q] is
+    culpable iff redeploying without just [q] makes the divergence vanish
+    (fresh probe harnesses; the campaign's own state is untouched). *)
+
+val kind_name : kind -> string
+val coverage : t -> Coverage.t
+val executions : t -> int
+val quirks : t -> Sdnet.Quirks.t
+val bundle : t -> P4ir.Programs.bundle
+val metrics : t -> Telemetry.Registry.t

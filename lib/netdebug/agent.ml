@@ -64,6 +64,10 @@ let handle t (msg : Wire.host_msg) : Wire.dev_msg =
   | Wire.Clear_test_state ->
       Generator.clear t.generator;
       Checker.clear t.checker;
+      (* a fresh test run starts with the previous one's in-flight work
+         drained; otherwise back-to-back single-shot runs freeze the clock
+         and the RX ring slowly fills with completed entries *)
+      Device.quiesce t.device;
       Wire.Ack
 
 let process t =

@@ -56,7 +56,7 @@ module Functional = struct
   let never_forward_rule =
     Controller.expect ~name:"unexpected-output" (Ast.Const Value.fls)
 
-  let run ?oracle ?vectors ?(fuzz = 32) ?(stateful = false) (h : Harness.t) =
+  let run ?oracle ?vectors ?(fuzz = 32) ?fuzz_seed ?(stateful = false) (h : Harness.t) =
     let oracle = match oracle with Some b -> b | None -> h.Harness.bundle in
     let oracle_rt = Runtime.create () in
     (match Runtime.install_all oracle.Programs.program oracle_rt oracle.Programs.entries with
@@ -67,7 +67,7 @@ module Functional = struct
       | Some v -> v
       | None -> Vectors.from_paths oracle.Programs.program oracle_rt
     in
-    let vectors = vectors @ Vectors.fuzz ~count:fuzz () in
+    let vectors = vectors @ Vectors.fuzz ?seed:fuzz_seed ~count:fuzz () in
     let ctl = h.Harness.controller in
     (* stateful mode: thread one register store through the oracle and
        start the device's registers from a known (zero) state, so both

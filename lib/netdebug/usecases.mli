@@ -23,11 +23,13 @@ module Functional : sig
     ?oracle:P4ir.Programs.bundle ->
     ?vectors:Bitutil.Bitstring.t list ->
     ?fuzz:int ->
+    ?fuzz_seed:int ->
     ?stateful:bool ->
     Harness.t ->
     report
   (** [vectors] defaults to symbolic-execution path witnesses of the
-      oracle; [fuzz] random packets are appended (default 32).
+      oracle; [fuzz] random packets are appended (default 32), generated
+      from [fuzz_seed] (default {!Vectors.fuzz}'s seed, 77).
       [stateful] (default false) resets the device's registers and threads
       one register store through the oracle so programs with persistent
       state (rate limiters, caches) can be validated packet-by-packet. *)

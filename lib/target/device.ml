@@ -40,6 +40,16 @@ type status = {
   st_stage_seen : (string * int64) list;
 }
 
+(* Coverage taps: external observers of the behavioural events a packet
+   produces inside the pipeline (parser outcome, table apply, final
+   disposition). Unset by default; the hot path pays one word-load and a
+   branch per event when no taps are installed. *)
+type taps = {
+  tp_parse : P4ir.Parse.outcome -> unit;
+  tp_table : table:string -> hit:bool -> action:string -> unit;
+  tp_disposition : disposition -> unit;
+}
+
 (* The internal generator sits after the input interfaces; its packets carry
    a non-physical ingress port (one below the 511 drop port). *)
 let generator_port = 510
@@ -84,6 +94,7 @@ type t = {
   ss_egress : stage_state;
   ss_deparser : stage_state;
   by_stage : (string, stage_state) Hashtbl.t;
+  taps : taps option ref;
   faults_active : bool ref;
   cur_id : int ref;
   cur_entry : float ref;
@@ -223,6 +234,7 @@ let create (pipeline : Pipeline.t) =
         ("stage/" ^ ss.ss_name ^ "/latency_ns")
         (fun () -> lat))
     stages;
+  let taps = ref None in
   let faults_active = ref false in
   let cur_id = ref 0 in
   let cur_entry = ref 0.0 in
@@ -230,6 +242,7 @@ let create (pipeline : Pipeline.t) =
   let cur_root = ref 0 in
   let cur_end = ref 0.0 in
   let on_table ~table ~hit ~action =
+    (match !taps with Some tp -> tp.tp_table ~table ~hit ~action | None -> ());
     match Hashtbl.find_opt by_table table with
     | None -> ()
     | Some ss ->
@@ -306,6 +319,7 @@ let create (pipeline : Pipeline.t) =
     ss_egress = find_stage "egress";
     ss_deparser = find_stage "deparser";
     by_stage;
+    taps;
     faults_active;
     cur_id;
     cur_entry;
@@ -376,6 +390,8 @@ let now_ns t = t.now
 let set_span_sampling t n = Span.set_sampling t.spanstore n
 
 let set_check_tap t f = t.check_tap <- f
+
+let set_taps t tp = t.taps := tp
 
 let set_port_broken t port broken =
   if port < 0 || port >= t.config.Config.ports then
@@ -460,6 +476,7 @@ let run_pipeline t ~source ~id ~arrival ~entry_done bits =
     Counter.incr ps.ss_seen;
     if !(t.faults_active) then fault_drop ps;
     let outcome = Parse.run ~hooks:t.pipeline.Pipeline.parse_hooks ctx bits in
+    (match !(t.taps) with Some tp -> tp.tp_parse outcome | None -> ());
     Trace.record t.trace ~packet_id:id
       ~time_ns:(entry_done +. ps.ss_enter_ns)
       ~component:ps.ss_name
@@ -559,6 +576,7 @@ let inject t ~source ?at_ns bits =
         ~kind:Span.Packet ~name:t.n_packet ~t0:arrival ~t1:arrival ~bytes
         ~flags:Span.flag_drop ~note:t.note_tail_drop
     end;
+    (match !(t.taps) with Some tp -> tp.tp_disposition Dropped_queue | None -> ());
     (id, Dropped_queue)
   end
   else begin
@@ -588,6 +606,7 @@ let inject t ~source ?at_ns bits =
       Span.record t.spanstore ~id:!(t.cur_root) ~parent:Span.no_parent ~packet:id
         ~kind:Span.Packet ~name:t.n_packet ~t0:arrival ~t1:!(t.cur_end) ~bytes ~flags ~note
     end;
+    (match !(t.taps) with Some tp -> tp.tp_disposition disposition | None -> ());
     (id, disposition)
   end
 
@@ -595,6 +614,10 @@ let advance_to_ns t ns =
   if ns > t.now then t.now <- ns;
   ignore (Ringq.drop_leq t.rx_q t.now);
   Array.iter (fun q -> ignore (Ringq.drop_leq q t.now)) t.tx_q
+
+let quiesce t =
+  let horizon = Array.fold_left (fun acc f -> if f > acc then f else acc) t.pipe_free t.tx_free in
+  advance_to_ns t horizon
 
 let outputs t =
   let outs = List.rev t.outs_rev in

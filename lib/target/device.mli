@@ -94,12 +94,34 @@ val advance_to_ns : t -> float -> unit
 (** Move the clock forward (never backward) and drain departed queue
     entries. Idempotent at a fixed timestamp. *)
 
+val quiesce : t -> unit
+(** Advance the clock past every in-flight packet (pipeline entry bus and
+    all TX serializers), draining the interface queues. Without this, a
+    caller that repeatedly injects at the current clock — e.g. thousands
+    of single-shot generator runs — never moves time forward, so the RX
+    ring retains every completed entry and eventually tail-drops. *)
+
 val outputs : t -> output list
 (** Packets that reached a wire since the last call, oldest first, with
     [o_wire_time_ns] stamped. Drains. *)
 
 val set_check_tap : t -> (output -> unit) -> unit
 (** Observer between pipeline exit and the output interfaces. *)
+
+(** Coverage taps: behavioural-event observers for coverage-guided testing
+    ({!Fuzz}). [tp_parse] fires once per packet with the parser outcome
+    (visited states, accept/reject), [tp_table] on every table apply with
+    the hit/miss and chosen action, [tp_disposition] with the packet's
+    final fate (including queue drops). *)
+type taps = {
+  tp_parse : P4ir.Parse.outcome -> unit;
+  tp_table : table:string -> hit:bool -> action:string -> unit;
+  tp_disposition : disposition -> unit;
+}
+
+val set_taps : t -> taps option -> unit
+(** Install (or with [None] remove) the coverage taps. Unset taps cost the
+    hot path one load-and-branch per event. *)
 
 val set_port_broken : t -> int -> bool -> unit
 (** A broken port emits nothing externally; the check tap still sees the

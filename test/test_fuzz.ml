@@ -1,0 +1,190 @@
+(* Tests for the coverage-guided differential fuzzing engine: coverage
+   map, mutators, corpus scheduling, oracle, minimizer and campaigns. *)
+
+module Programs = P4ir.Programs
+module Quirks = Sdnet.Quirks
+module Bitstring = Bitutil.Bitstring
+module Prng = Bitutil.Prng
+module Coverage = Fuzz.Coverage
+module Mutate = Fuzz.Mutate
+module Corpus = Fuzz.Corpus
+module Oracle = Fuzz.Oracle
+module Campaign = Fuzz.Campaign
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---------------- coverage map ---------------- *)
+
+let test_coverage_interning () =
+  let c = Coverage.create () in
+  check_bool "first sighting is new" true (Coverage.note c "a");
+  check_bool "second sighting is old" false (Coverage.note c "a");
+  check_bool "distinct label is new" true (Coverage.note c "b");
+  check_int "two edges" 2 (Coverage.edges c);
+  check_bool "labels retained" true (List.mem "a" (Coverage.labels c))
+
+let test_coverage_growth () =
+  (* the bitmap grows transparently past its initial capacity *)
+  let c = Coverage.create () in
+  for i = 0 to 4999 do
+    ignore (Coverage.note c (string_of_int i))
+  done;
+  check_int "5000 edges" 5000 (Coverage.edges c);
+  check_bool "re-noting stays old" false (Coverage.note c "4999")
+
+(* ---------------- mutators ---------------- *)
+
+let test_layout_fields () =
+  let layout = Mutate.layout_of Programs.basic_router in
+  check_bool "ethernet+ipv4 fields present" true (Array.length layout.Mutate.fields >= 10);
+  check_bool "dictionary harvested" true (Array.length layout.Mutate.dict > 0);
+  (* offsets are within the packet prefix they describe *)
+  Array.iter
+    (fun f ->
+      check_bool "field fits" true
+        (f.Mutate.fl_off + f.Mutate.fl_width <= layout.Mutate.total_bits))
+    layout.Mutate.fields
+
+let test_mutate_deterministic () =
+  let layout = Mutate.layout_of Programs.basic_router in
+  let seed = Packet.serialize (Packet.udp_ipv4 ~dst:0x0A000001L ()) in
+  let a = List.init 50 (fun _ -> Mutate.mutate layout (Prng.create 9) seed) in
+  (* same PRNG seed, same children *)
+  let b = List.init 50 (fun _ -> Mutate.mutate layout (Prng.create 9) seed) in
+  ignore a;
+  ignore b;
+  let p1 = Prng.create 9 and p2 = Prng.create 9 in
+  for _ = 1 to 50 do
+    check_bool "replayed mutation identical" true
+      (Bitstring.equal (Mutate.mutate layout p1 seed) (Mutate.mutate layout p2 seed))
+  done
+
+(* ---------------- corpus ---------------- *)
+
+let test_corpus_energy () =
+  let c = Corpus.create () in
+  Corpus.add c (Bitstring.of_hex "aa");
+  Corpus.add c (Bitstring.of_hex "bb");
+  check_int "two inputs" 2 (Corpus.size c);
+  let item = Corpus.pick c (Prng.create 3) in
+  (* rewards double energy up to the cap, so picks stay total-preserving *)
+  for _ = 1 to 10 do
+    Corpus.reward c item
+  done;
+  let prng = Prng.create 4 in
+  for _ = 1 to 100 do
+    ignore (Corpus.pick c prng)
+  done;
+  check_int "corpus unchanged by picks" 2 (Corpus.size c)
+
+(* ---------------- campaigns ---------------- *)
+
+let guided = lazy (Campaign.run ~budget:2000 ~seed:1 Programs.basic_router)
+
+let test_campaign_deterministic () =
+  let a = Lazy.force guided in
+  let b = Campaign.run ~budget:2000 ~seed:1 Programs.basic_router in
+  check_string "equal seeds render bit-identically" (Campaign.render a)
+    (Campaign.render b)
+
+let test_campaign_finds_reject_unimplemented () =
+  (* the acceptance regression: on basic_router under the shipped quirks,
+     a small guided campaign must rediscover the reject-unimplemented
+     divergence and attribute it by knock-out *)
+  let r = Lazy.force guided in
+  check_bool "at least one divergence" true (List.length r.Campaign.rp_divergences >= 1);
+  check_bool "attributed to reject-unimplemented" true
+    (List.exists
+       (fun d -> List.mem Quirks.Reject_unimplemented d.Campaign.dv_quirks)
+       r.Campaign.rp_divergences)
+
+let test_campaign_faithful_is_clean () =
+  let r = Campaign.run ~quirks:Quirks.none ~budget:2000 ~seed:1 Programs.basic_router in
+  check_int "no divergences against a faithful device" 0
+    (List.length r.Campaign.rp_divergences)
+
+let test_guided_beats_blind () =
+  let budget = 600 in
+  let g = Campaign.run ~budget ~seed:1 Programs.basic_router in
+  let b = Campaign.run_blind ~budget ~seed:1 Programs.basic_router in
+  check_bool
+    (Printf.sprintf "guided (%d edges) > blind (%d edges) at equal budget"
+       g.Campaign.rp_edges b.Campaign.rp_edges)
+    true
+    (g.Campaign.rp_edges > b.Campaign.rp_edges)
+
+let test_campaign_rejects_zero_budget () =
+  Alcotest.check_raises "budget must be positive"
+    (Invalid_argument "Fuzz.Campaign.run: budget must be positive") (fun () ->
+      ignore (Campaign.run ~budget:0 ~seed:1 Programs.basic_router))
+
+let test_report_golden () =
+  let r = Lazy.force guided in
+  let ic = open_in "fuzz_report.golden" in
+  let n = in_channel_length ic in
+  let golden = really_input_string ic n in
+  close_in ic;
+  check_string "report matches golden" golden (Campaign.render r)
+
+(* ---------------- qcheck properties ---------------- *)
+
+(* Minimized reproducers are standalone: replayed on a fresh oracle they
+   still diverge, with the same fingerprint the campaign deduped on. *)
+let prop_minimized_repros_still_diverge =
+  QCheck.Test.make ~count:4 ~name:"minimized repros still diverge"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let r = Campaign.run ~budget:300 ~seed Programs.basic_router in
+      List.for_all
+        (fun d ->
+          let oracle = Oracle.create ~quirks:r.Campaign.rp_quirks Programs.basic_router in
+          match (Oracle.execute oracle d.Campaign.dv_repro).Oracle.x_divergence with
+          | Some dd -> String.equal dd.Oracle.d_fingerprint d.Campaign.dv_fingerprint
+          | None -> false)
+        r.Campaign.rp_divergences)
+
+(* Minimization never grows the input. *)
+let prop_repro_no_larger =
+  QCheck.Test.make ~count:4 ~name:"minimized repro never larger than the input"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let r = Campaign.run ~budget:300 ~seed Programs.basic_router in
+      List.for_all
+        (fun d ->
+          Bitstring.length d.Campaign.dv_repro <= Bitstring.length d.Campaign.dv_input)
+        r.Campaign.rp_divergences)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "coverage",
+        [
+          Alcotest.test_case "label interning" `Quick test_coverage_interning;
+          Alcotest.test_case "bitmap growth" `Quick test_coverage_growth;
+        ] );
+      ( "mutate",
+        [
+          Alcotest.test_case "layout of basic_router" `Quick test_layout_fields;
+          Alcotest.test_case "deterministic replay" `Quick test_mutate_deterministic;
+        ] );
+      ("corpus", [ Alcotest.test_case "energy scheduling" `Quick test_corpus_energy ]);
+      ( "campaign",
+        [
+          Alcotest.test_case "determinism" `Quick test_campaign_deterministic;
+          Alcotest.test_case "rediscovers reject-unimplemented" `Quick
+            test_campaign_finds_reject_unimplemented;
+          Alcotest.test_case "faithful device is clean" `Quick
+            test_campaign_faithful_is_clean;
+          Alcotest.test_case "guided beats blind" `Quick test_guided_beats_blind;
+          Alcotest.test_case "zero budget rejected" `Quick
+            test_campaign_rejects_zero_budget;
+          Alcotest.test_case "golden report" `Quick test_report_golden;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_minimized_repros_still_diverge;
+          QCheck_alcotest.to_alcotest prop_repro_no_larger;
+        ] );
+    ]
