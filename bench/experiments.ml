@@ -685,6 +685,63 @@ let ablation_vectors () =
      degenerate field values (zeros) that mask value-dependent divergences \
      such as the narrow shifter. The production battery runs both.@."
 
+(* E-PAR: scaling of the parallel validation engine. Two workloads — the
+   E-FZ guided campaign (budget 2000) and a 10k-vector functional sweep —
+   at jobs in {1,2,4,8}, with the determinism contract checked at every
+   point: the campaign report must render byte-identically and the sweep
+   must test/flag the same vectors regardless of jobs. Wall-clock is
+   measured with Unix.gettimeofday (Sys.time sums CPU time across domains
+   and would hide any speedup). *)
+let epar () =
+  section "E-PAR: multicore parallel validation engine scaling";
+  Format.printf
+    "host has %d recognized core(s); speedups above 1 core appear only on \
+     multicore runners (CI uses 4)@.@."
+    (Domain.recommended_domain_count ());
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let budget = 2000 and sweep = 10_000 in
+  let t =
+    Texttable.create
+      [ "jobs"; "fuzz 2000 (s)"; "speedup"; "sweep 10k vecs (s)"; "speedup" ]
+  in
+  let base_fuzz = ref 0.0 and base_sweep = ref 0.0 in
+  let fuzz_renders = ref [] and sweep_results = ref [] in
+  List.iter
+    (fun jobs ->
+      let rf, tf =
+        time (fun () -> Fuzz.Campaign.run ~jobs ~budget ~seed:1 Programs.basic_router)
+      in
+      let h = Harness.deploy Programs.basic_router in
+      let rs, ts = time (fun () -> Usecases.Functional.run ~fuzz:sweep ~jobs h) in
+      if jobs = 1 then begin
+        base_fuzz := tf;
+        base_sweep := ts
+      end;
+      fuzz_renders := Fuzz.Campaign.render rf :: !fuzz_renders;
+      sweep_results :=
+        (rs.Usecases.Functional.fr_tested, List.length rs.Usecases.Functional.fr_mismatches)
+        :: !sweep_results;
+      Texttable.add_row t
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.3f" tf;
+          Printf.sprintf "%.2fx" (!base_fuzz /. tf);
+          Printf.sprintf "%.3f" ts;
+          Printf.sprintf "%.2fx" (!base_sweep /. ts);
+        ])
+    [ 1; 2; 4; 8 ];
+  Format.printf "%s@." (Texttable.render t);
+  let identical l = List.for_all (fun x -> x = List.hd l) l in
+  Format.printf "  [%s] campaign report byte-identical across jobs {1,2,4,8}@."
+    (if identical !fuzz_renders then "ok" else "FAIL");
+  Format.printf "  [%s] functional sweep (tested, mismatches) invariant across jobs@."
+    (if identical !sweep_results then "ok" else "FAIL");
+  if not (identical !fuzz_renders && identical !sweep_results) then exit 1
+
 let all =
   [
     ("figure1", figure1);
@@ -700,4 +757,5 @@ let all =
     ("ablation_localization", ablation_localization);
     ("ablation_solver", ablation_solver);
     ("ablation_vectors", ablation_vectors);
+    ("epar", epar);
   ]

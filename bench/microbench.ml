@@ -198,6 +198,38 @@ let b12_fuzz_oracle =
   Test.make ~name:"B12 fuzz: one differential-oracle execution"
     (Staged.stage (fun () -> ignore (Fuzz.Oracle.execute o routed_probe)))
 
+(* B13: wall-clock of one guided fuzz campaign, sequential vs 4 worker
+   domains, with the byte-identity of the two reports asserted. Not a
+   bechamel test: a campaign is a multi-hundred-millisecond operation and
+   the interesting number is wall-clock scaling, so it is timed directly
+   with Unix.gettimeofday — Sys.time would report CPU time summed across
+   domains and hide the speedup entirely. On a single-core host the two
+   timings are expected to be comparable; the identity check still bites. *)
+let b13_rows () =
+  let budget = 2000 and seed = 1 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r1, t1 =
+    time (fun () -> Fuzz.Campaign.run ~jobs:1 ~budget ~seed Programs.basic_router)
+  in
+  let r4, t4 =
+    time (fun () -> Fuzz.Campaign.run ~jobs:4 ~budget ~seed Programs.basic_router)
+  in
+  if not (String.equal (Fuzz.Campaign.render r1) (Fuzz.Campaign.render r4)) then begin
+    Format.eprintf "FAIL: B13 jobs=4 campaign report differs from jobs=1@.";
+    exit 1
+  end;
+  Format.printf
+    "B13 campaign wall-clock: jobs=1 %.0f ms, jobs=4 %.0f ms (%.2fx); reports identical@."
+    (t1 *. 1e3) (t4 *. 1e3) (t1 /. t4);
+  [
+    ("netdebug/B13 fuzz campaign (2000 execs) wall-clock, jobs=1", Some (t1 *. 1e9), None);
+    ("netdebug/B13 fuzz campaign (2000 execs) wall-clock, jobs=4", Some (t4 *. 1e9), None);
+  ]
+
 let tests =
   Test.make_grouped ~name:"netdebug"
     [
@@ -309,6 +341,7 @@ let run ?json ?(check_overhead = false) () =
           estimate merged (Measure.label Instance.monotonic_clock) name,
           estimate merged (Measure.label Instance.minor_allocated) name ))
       names
+    @ b13_rows ()
   in
   let table = Stats.Texttable.create [ "benchmark"; "ns/op"; "minor w/op" ] in
   List.iter

@@ -80,6 +80,17 @@ module Common_args = struct
       & info [ "seed" ] ~docv:"N"
           ~doc:"PRNG seed for the fuzz vectors (default: the built-in seed, 77).")
 
+  let jobs =
+    let env = Cmd.Env.info "NETDEBUG_JOBS" ~doc:"Default for $(b,--jobs)." in
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~env
+          ~doc:
+            "Worker domains for the parallel execution engine. Validation sweeps \
+             shard their vectors over $(docv) device replicas; fuzz campaigns run \
+             their shards on $(docv) domains. Reports are identical for every \
+             value — parallelism never changes results, only wall-clock time.")
+
   (* whole-set quirk selection: none | default | all | name,name,... *)
   let quirk_set =
     let parse = function
@@ -225,7 +236,7 @@ let print_span_tree ppf spans =
 (* ---------------- validate ---------------- *)
 
 let validate_cmd =
-  let run name quirks faithful fuzz fuzz_seed pcap_out telemetry_dir =
+  let run name quirks faithful fuzz fuzz_seed jobs pcap_out telemetry_dir =
     let b = or_die (find_bundle name) in
     let quirks = Common_args.effective_quirks quirks faithful in
     Format.printf "toolchain quirks: %a@." Quirks.pp quirks;
@@ -233,7 +244,7 @@ let validate_cmd =
     (match Harness.self_check h with
     | Ok facts -> List.iter (fun f -> Format.printf "[ok] %s@." f) facts
     | Error e -> or_die (Error e));
-    let report = Usecases.Functional.run ~fuzz ?fuzz_seed h in
+    let report = Usecases.Functional.run ~fuzz ?fuzz_seed ~jobs h in
     Format.printf "@.%a@." Usecases.Functional.pp report;
     (match pcap_out with
     | Some path ->
@@ -279,7 +290,8 @@ let validate_cmd =
        ~doc:"Deploy on the simulated device and validate against the specification")
     Term.(
       const run $ program_arg $ Common_args.quirks $ Common_args.faithful
-      $ Common_args.fuzz $ Common_args.seed $ pcap_arg $ telemetry_arg)
+      $ Common_args.fuzz $ Common_args.seed $ Common_args.jobs $ pcap_arg
+      $ telemetry_arg)
 
 (* ---------------- localize ---------------- *)
 
@@ -463,7 +475,7 @@ let metrics_cmd =
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
-  let run name quirk_set quirks faithful budget seed blind report_out pcap_out =
+  let run name quirk_set quirks faithful budget seed jobs blind report_out pcap_out =
     let b = or_die (find_bundle name) in
     let quirks =
       match quirk_set with
@@ -471,7 +483,8 @@ let fuzz_cmd =
       | None -> Common_args.effective_quirks quirks faithful
     in
     let report =
-      (if blind then Fuzz.Campaign.run_blind else Fuzz.Campaign.run) ~quirks ~budget ~seed b
+      (if blind then Fuzz.Campaign.run_blind else Fuzz.Campaign.run)
+        ~quirks ~jobs ~budget ~seed b
     in
     let text = Fuzz.Campaign.render report in
     print_string text;
@@ -544,7 +557,7 @@ let fuzz_cmd =
           quirk-attributed reproducers")
     Term.(
       const run $ program_arg $ quirk_set_arg $ Common_args.quirks $ Common_args.faithful
-      $ budget_arg $ seed_arg $ blind_arg $ report_arg $ pcap_arg)
+      $ budget_arg $ seed_arg $ Common_args.jobs $ blind_arg $ report_arg $ pcap_arg)
 
 (* ---------------- usecases ---------------- *)
 

@@ -5,6 +5,7 @@ module Vectors = Netdebug.Vectors
 module Bitstring = Bitutil.Bitstring
 module Prng = Bitutil.Prng
 module Registry = Telemetry.Registry
+module Merge = Par.Merge
 
 type divergence = {
   dv_fingerprint : string;
@@ -40,104 +41,324 @@ let seeds () =
     Packet.serialize (Packet.make [ Packet.Eth (Packet.Eth.make ()) ] ());
   ]
 
-let divergences_of oracle layout table order =
-  List.rev_map
-    (fun fp ->
-      let input, d, found_at = Hashtbl.find table fp in
-      let repro = Minimize.minimize oracle layout ~fingerprint:fp input in
-      {
-        dv_fingerprint = fp;
-        dv_kind = Oracle.kind_name d.Oracle.d_kind;
-        dv_spec = d.Oracle.d_spec;
-        dv_dev = d.Oracle.d_dev;
-        dv_input = input;
-        dv_repro = repro;
-        dv_found_at = found_at;
-        dv_quirks = Oracle.attribute oracle repro;
-      })
-    order
+(* ------------------------------------------------------------------ *)
+(* Sharded execution engine                                            *)
+(* ------------------------------------------------------------------ *)
 
-let finish ~mode ~seed ~budget ~execs oracle layout table order corpus_size =
-  let divergences = divergences_of oracle layout table order in
+(* The campaign always runs as [shards] logical sub-campaigns over a
+   round-robin interleaving of the execution budget; [jobs] only sets how
+   many domains execute them. Because shards exchange state exclusively
+   at round barriers — integrated by the coordinator in ascending shard
+   order — the report depends on (seed, budget, quirks) alone, never on
+   scheduling: any jobs value renders byte-identically. The constant is
+   part of the output format; changing it changes reports. *)
+let shards = 8
+
+(* executions a shard runs between synchronization barriers *)
+let sync_batch = 64
+
+(* global execution index of a shard's [j]-th (1-based) local execution:
+   the interleaving a round-robin scheduler would produce. Injective, and
+   onto [1, budget] when the remainder goes to the lowest shard ids. *)
+let gindex_of ~shard j = ((j - 1) * shards) + shard + 1
+
+type sighting = {
+  sg_gindex : int;
+  sg_input : Bitstring.t;
+  sg_div : Oracle.divergence;
+}
+
+type shard_state = {
+  sh_id : int;
+  sh_oracle : Oracle.t;
+  sh_prng : Prng.t;
+  sh_corpus : Corpus.t;
+  sh_known : (string, unit) Hashtbl.t;  (* edge labels distributed to this shard *)
+  sh_have : (string, unit) Hashtbl.t;  (* hex of pool entries already in sh_corpus *)
+  sh_seen : (string, unit) Hashtbl.t;  (* fingerprints already sighted locally *)
+  mutable sh_budget : int;  (* local executions still to run *)
+  mutable sh_done : int;  (* local executions performed *)
+  mutable sh_pending_seeds : Bitstring.t list;
+  mutable sh_new_labels : string list;  (* published at the round barrier *)
+  mutable sh_new_entries : Bitstring.t list;  (* admitted this round, local order *)
+  mutable sh_sightings : sighting list;  (* reverse local discovery order *)
+}
+
+(* split the budget: shard i runs budget/shards executions, the first
+   (budget mod shards) shards one more — the precondition of gindex_of *)
+let shard_budgets budget =
+  let q = budget / shards and r = budget mod shards in
+  Array.init shards (fun i -> q + if i < r then 1 else 0)
+
+let make_shard ?quirks bundle ~prng ~id ~budget ~with_seeds =
+  let oracle = Oracle.create ?quirks bundle in
+  let corpus = Corpus.create () in
+  Registry.gauge (Oracle.metrics oracle) ~help:"inputs in the fuzzing corpus"
+    "fuzz/corpus_size" (fun () -> float_of_int (Corpus.size corpus));
+  let templates = if with_seeds then seeds () else [] in
+  List.iter (Corpus.add corpus) templates;
+  let sh_have = Hashtbl.create 32 in
+  List.iter (fun s -> Hashtbl.replace sh_have (Bitstring.to_hex s) ()) templates;
   {
-    rp_program = (Oracle.bundle oracle).Programs.program.Ast.p_name;
+    sh_id = id;
+    sh_oracle = oracle;
+    sh_prng = prng;
+    sh_corpus = corpus;
+    sh_known = Hashtbl.create 64;
+    sh_have;
+    sh_seen = Hashtbl.create 8;
+    sh_budget = budget;
+    sh_done = 0;
+    sh_pending_seeds = templates;
+    sh_new_labels = [];
+    sh_new_entries = [];
+    sh_sightings = [];
+  }
+
+let sight st input (x : Oracle.exec) =
+  match x.Oracle.x_divergence with
+  | Some d when not (Hashtbl.mem st.sh_seen d.Oracle.d_fingerprint) ->
+      Hashtbl.replace st.sh_seen d.Oracle.d_fingerprint ();
+      st.sh_sightings <-
+        { sg_gindex = gindex_of ~shard:st.sh_id st.sh_done; sg_input = input; sg_div = d }
+        :: st.sh_sightings
+  | Some _ | None -> ()
+
+(* round start, inside the worker: absorb what the rest of the campaign
+   learned last round. [global_labels] and [pool] are snapshots the
+   coordinator froze at the barrier — read-only here. *)
+let distribute st ~global_labels ~pool =
+  List.iter
+    (fun label ->
+      if not (Hashtbl.mem st.sh_known label) then begin
+        Hashtbl.replace st.sh_known label ();
+        ignore (Coverage.note (Oracle.coverage st.sh_oracle) label)
+      end)
+    global_labels;
+  List.iter
+    (fun entry ->
+      let key = Bitstring.to_hex entry in
+      if not (Hashtbl.mem st.sh_have key) then begin
+        Hashtbl.replace st.sh_have key ();
+        Corpus.add st.sh_corpus entry
+      end)
+    pool
+
+(* one barrier-to-barrier batch of guided executions, purely local *)
+let guided_round layout st =
+  let n = min sync_batch st.sh_budget in
+  for _ = 1 to n do
+    st.sh_done <- st.sh_done + 1;
+    st.sh_budget <- st.sh_budget - 1;
+    let input, parent =
+      match st.sh_pending_seeds with
+      | s :: rest ->
+          st.sh_pending_seeds <- rest;
+          (s, None)
+      | [] ->
+          let parent = Corpus.pick st.sh_corpus st.sh_prng in
+          (Mutate.mutate layout st.sh_prng (Corpus.bits parent), Some parent)
+    in
+    let before = Coverage.edges (Oracle.coverage st.sh_oracle) in
+    let x = Oracle.execute st.sh_oracle input in
+    let grew = Coverage.edges (Oracle.coverage st.sh_oracle) > before in
+    (match parent with
+    | Some p when grew ->
+        Corpus.add st.sh_corpus input;
+        Corpus.reward st.sh_corpus p;
+        let key = Bitstring.to_hex input in
+        if not (Hashtbl.mem st.sh_have key) then begin
+          Hashtbl.replace st.sh_have key ();
+          st.sh_new_entries <- input :: st.sh_new_entries
+        end
+    | Some _ | None -> ());
+    sight st input x
+  done;
+  (* labels this shard covered first (locally): everything interned that
+     was never distributed to it. Sorted by Coverage.labels — a
+     deterministic publication order. *)
+  st.sh_new_labels <-
+    List.filter
+      (fun l -> not (Hashtbl.mem st.sh_known l))
+      (Coverage.labels (Oracle.coverage st.sh_oracle))
+
+(* phase 2, shared by both modes: sort sightings into the global
+   discovery order, keep the first per fingerprint, then minimize and
+   attribute each on the oracle of the shard that found it (executions
+   and coverage from shrink replays land where the sequential engine put
+   them). Shard groups shrink in parallel; results reassemble by gindex. *)
+let resolve_divergences pool_ layout states sightings =
+  let ordered =
+    Merge.dedup_by
+      ~key:(fun s -> s.sg_div.Oracle.d_fingerprint)
+      (List.sort (fun a b -> compare a.sg_gindex b.sg_gindex) sightings)
+  in
+  let by_shard = Array.make (Array.length states) [] in
+  List.iter
+    (fun s ->
+      let owner = (s.sg_gindex - 1) mod shards in
+      by_shard.(owner) <- s :: by_shard.(owner))
+    (List.rev ordered);
+  let groups =
+    Par.Pool.map_chunks pool_ ~chunk:1
+      (fun ~worker:_ i group ->
+        let st = states.(i) in
+        List.map
+          (fun s ->
+            let fp = s.sg_div.Oracle.d_fingerprint in
+            let repro = Minimize.minimize st.sh_oracle layout ~fingerprint:fp s.sg_input in
+            let quirks = Oracle.attribute st.sh_oracle repro in
+            (s, repro, quirks))
+          group)
+      by_shard
+  in
+  let resolved = Merge.concat groups in
+  List.map
+    (fun s ->
+      let _, repro, quirks =
+        List.find (fun (s', _, _) -> s' == s) resolved
+      in
+      {
+        dv_fingerprint = s.sg_div.Oracle.d_fingerprint;
+        dv_kind = Oracle.kind_name s.sg_div.Oracle.d_kind;
+        dv_spec = s.sg_div.Oracle.d_spec;
+        dv_dev = s.sg_div.Oracle.d_dev;
+        dv_input = s.sg_input;
+        dv_repro = repro;
+        dv_found_at = s.sg_gindex;
+        dv_quirks = quirks;
+      })
+    ordered
+
+(* campaign totals after phase 2: executions sum across shard oracles;
+   edges are the union of per-shard coverage (shrink replays included,
+   exactly like the sequential accounting that counted edges last) *)
+let finish ~mode ~seed ~budget states divergences corpus_size =
+  let some = states.(0) in
+  let union = Hashtbl.create 128 in
+  Array.iter
+    (fun st ->
+      List.iter
+        (fun l -> Hashtbl.replace union l ())
+        (Coverage.labels (Oracle.coverage st.sh_oracle)))
+    states;
+  {
+    rp_program = (Oracle.bundle some.sh_oracle).Programs.program.Ast.p_name;
     rp_mode = mode;
-    rp_quirks = Oracle.quirks oracle;
+    rp_quirks = Oracle.quirks some.sh_oracle;
     rp_seed = seed;
     rp_budget = budget;
-    rp_executions = execs;
-    rp_total_executions = Oracle.executions oracle;
-    rp_edges = Coverage.edges (Oracle.coverage oracle);
+    rp_executions = Array.fold_left (fun n st -> n + st.sh_done) 0 states;
+    rp_total_executions =
+      Array.fold_left (fun n st -> n + Oracle.executions st.sh_oracle) 0 states;
+    rp_edges = Hashtbl.length union;
     rp_corpus = corpus_size;
     rp_divergences = divergences;
   }
 
-let record table order execs input (d : Oracle.divergence) =
-  if not (Hashtbl.mem table d.Oracle.d_fingerprint) then begin
-    Hashtbl.add table d.Oracle.d_fingerprint (input, d, execs);
-    order := d.Oracle.d_fingerprint :: !order
-  end
-
-let run ?quirks ~budget ~seed bundle =
-  if budget < 1 then invalid_arg "Fuzz.Campaign.run: budget must be positive";
-  let oracle = Oracle.create ?quirks bundle in
-  let layout = Mutate.layout_of bundle in
-  let prng = Prng.create seed in
-  let corpus = Corpus.create () in
-  Registry.gauge (Oracle.metrics oracle) ~help:"inputs in the fuzzing corpus"
-    "fuzz/corpus_size" (fun () -> float_of_int (Corpus.size corpus));
-  let table = Hashtbl.create 8 in
-  let order = ref [] in
-  let execs = ref 0 in
-  (* seed phase: every seed joins the corpus; seed executions count
-     against the budget like any other *)
-  List.iter
-    (fun s ->
-      Corpus.add corpus s;
-      if !execs < budget then begin
-        incr execs;
-        match (Oracle.execute oracle s).Oracle.x_divergence with
-        | Some d -> record table order !execs s d
-        | None -> ()
-      end)
-    (seeds ());
-  (* mutation loop: energy-weighted parent choice; children that uncover
-     a new edge join the corpus and reward their parent *)
-  while !execs < budget do
-    let parent = Corpus.pick corpus prng in
-    let input = Mutate.mutate layout prng (Corpus.bits parent) in
-    incr execs;
-    let before = Coverage.edges (Oracle.coverage oracle) in
-    let x = Oracle.execute oracle input in
-    if Coverage.edges (Oracle.coverage oracle) > before then begin
-      Corpus.add corpus input;
-      Corpus.reward corpus parent
-    end;
-    match x.Oracle.x_divergence with
-    | Some d -> record table order !execs input d
-    | None -> ()
+(* Shard states for every shard with a non-zero budget slice. PRNG
+   streams are split off the root in ascending shard order — explicit
+   loops, not Array.init, whose evaluation order is unspecified — and
+   zero-budget shards still consume their split so the streams never
+   depend on the budget. Their oracles (a full deployment each) are only
+   created for shards that will run. *)
+let make_states ?quirks bundle ~seed ~budget ~with_seeds =
+  let root = Prng.create seed in
+  let streams = Array.make shards root in
+  for id = 0 to shards - 1 do
+    streams.(id) <- Prng.split root
   done;
-  finish ~mode:"guided" ~seed ~budget ~execs:!execs oracle layout table !order
-    (Corpus.size corpus)
+  let budgets = shard_budgets budget in
+  let states = ref [] in
+  for id = shards - 1 downto 0 do
+    if budgets.(id) > 0 then
+      states :=
+        make_shard ?quirks bundle ~prng:streams.(id) ~id ~budget:budgets.(id) ~with_seeds
+        :: !states
+  done;
+  Array.of_list !states
+
+let run ?quirks ?(jobs = 1) ~budget ~seed bundle =
+  if budget < 1 then invalid_arg "Fuzz.Campaign.run: budget must be positive";
+  let layout = Mutate.layout_of bundle in
+  let active = make_states ?quirks bundle ~seed ~budget ~with_seeds:true in
+  (* the shared pool starts as the seed templates, which every shard
+     already holds; entries keep their global discovery order *)
+  let pool_entries = ref (seeds ()) in
+  let pool_keys = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace pool_keys (Bitstring.to_hex s) ()) !pool_entries;
+  let global_labels = ref [] in
+  let label_keys = Hashtbl.create 128 in
+  Par.Pool.with_pool ~jobs (fun pool_ ->
+      while Array.exists (fun st -> st.sh_budget > 0) active do
+        let labels_snapshot = List.rev !global_labels in
+        let pool_snapshot = !pool_entries in
+        ignore
+          (Par.Pool.map_chunks pool_ ~chunk:1
+             (fun ~worker:_ _ st ->
+               distribute st ~global_labels:labels_snapshot ~pool:pool_snapshot;
+               if st.sh_budget > 0 then guided_round layout st)
+             active);
+        (* barrier: integrate publications in ascending shard order *)
+        Array.iter
+          (fun st ->
+            List.iter
+              (fun l ->
+                if not (Hashtbl.mem label_keys l) then begin
+                  Hashtbl.replace label_keys l ();
+                  global_labels := l :: !global_labels
+                end)
+              st.sh_new_labels;
+            List.iter
+              (fun entry ->
+                let key = Bitstring.to_hex entry in
+                if not (Hashtbl.mem pool_keys key) then begin
+                  Hashtbl.replace pool_keys key ();
+                  pool_entries := !pool_entries @ [ entry ]
+                end)
+              (List.rev st.sh_new_entries);
+            st.sh_new_labels <- [];
+            st.sh_new_entries <- [])
+          active
+      done;
+      let sightings =
+        Merge.concat (Array.map (fun st -> List.rev st.sh_sightings) active)
+      in
+      let divergences = resolve_divergences pool_ layout active sightings in
+      finish ~mode:"guided" ~seed ~budget active divergences
+        (List.length !pool_entries))
 
 (* The blind baseline: the same oracle, coverage accounting and
    post-processing, driven by Vectors.fuzz's feedback-free traffic — the
-   control arm for the guided-vs-blind coverage comparison. *)
-let run_blind ?quirks ~budget ~seed bundle =
+   control arm for the guided-vs-blind coverage comparison. Executions
+   are state-independent, so the round-robin shard split needs no rounds
+   or barriers at all, and any jobs value reproduces the sequential
+   report byte for byte. *)
+let run_blind ?quirks ?(jobs = 1) ~budget ~seed bundle =
   if budget < 1 then invalid_arg "Fuzz.Campaign.run_blind: budget must be positive";
-  let oracle = Oracle.create ?quirks bundle in
   let layout = Mutate.layout_of bundle in
-  let table = Hashtbl.create 8 in
-  let order = ref [] in
-  let execs = ref 0 in
-  List.iter
-    (fun input ->
-      incr execs;
-      match (Oracle.execute oracle input).Oracle.x_divergence with
-      | Some d -> record table order !execs input d
-      | None -> ())
-    (Vectors.fuzz ~seed ~count:budget ());
-  finish ~mode:"blind" ~seed ~budget ~execs:!execs oracle layout table !order 0
+  let active = make_states ?quirks bundle ~seed ~budget ~with_seeds:false in
+  let inputs = Array.of_list (Vectors.fuzz ~seed ~count:budget ()) in
+  Par.Pool.with_pool ~jobs (fun pool_ ->
+      ignore
+        (Par.Pool.map_chunks pool_ ~chunk:1
+           (fun ~worker:_ _ st ->
+             (* this shard's slice: inputs at positions = sh_id mod shards *)
+             let j = ref 0 in
+             Array.iteri
+               (fun k input ->
+                 if k mod shards = st.sh_id && !j < st.sh_budget then begin
+                   incr j;
+                   st.sh_done <- st.sh_done + 1;
+                   sight st input (Oracle.execute st.sh_oracle input)
+                 end)
+               inputs)
+           active);
+      let sightings =
+        Merge.concat (Array.map (fun st -> List.rev st.sh_sightings) active)
+      in
+      let divergences = resolve_divergences pool_ layout active sightings in
+      finish ~mode:"blind" ~seed ~budget active divergences 0)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -6,7 +6,17 @@
     differential {!Oracle}. Children that light up a new coverage edge
     join the corpus and reward their parent; divergences are deduplicated
     by fingerprint, minimized and attributed to toolchain quirks by
-    knock-out. Everything is reproducible from the integer seed. *)
+    knock-out. Everything is reproducible from the integer seed.
+
+    Campaigns always execute as a fixed number of logical sub-campaigns
+    (8 shards) over a round-robin interleaving of the budget, with their
+    own PRNG streams (split off the seed in shard order) and their own
+    deployed oracle each. Shards exchange fresh coverage labels, corpus
+    entries and divergence sightings only at synchronization barriers,
+    where they are integrated in ascending shard order. [jobs] therefore
+    chooses nothing but how many domains run the shards: the report is a
+    pure function of (program, quirks, seed, budget) and renders
+    byte-identically for every [jobs] value. *)
 
 type divergence = {
   dv_fingerprint : string;
@@ -33,17 +43,31 @@ type report = {
 }
 
 val run :
-  ?quirks:Sdnet.Quirks.t -> budget:int -> seed:int -> P4ir.Programs.bundle -> report
+  ?quirks:Sdnet.Quirks.t ->
+  ?jobs:int ->
+  budget:int ->
+  seed:int ->
+  P4ir.Programs.bundle ->
+  report
 (** Coverage-guided campaign of exactly [budget] oracle executions (plus
     minimization replays, reported separately). [quirks] defaults to the
-    shipped toolchain ({!Sdnet.Quirks.default}). Equal seeds give
-    bit-identical reports. @raise Invalid_argument when [budget < 1]. *)
+    shipped toolchain ({!Sdnet.Quirks.default}). [jobs] (default 1) is
+    the number of worker domains executing the campaign's shards; it
+    affects wall-clock time only, never the report. Equal
+    (seed, budget) give bit-identical reports at any [jobs].
+    @raise Invalid_argument when [budget < 1]. *)
 
 val run_blind :
-  ?quirks:Sdnet.Quirks.t -> budget:int -> seed:int -> P4ir.Programs.bundle -> report
+  ?quirks:Sdnet.Quirks.t ->
+  ?jobs:int ->
+  budget:int ->
+  seed:int ->
+  P4ir.Programs.bundle ->
+  report
 (** Control arm: the same oracle and coverage accounting driven by the
     feedback-free {!Netdebug.Vectors.fuzz} traffic — the baseline the
-    guided campaign's edge count is compared against. *)
+    guided campaign's edge count is compared against. [jobs] as in
+    {!run}. *)
 
 val render : report -> string
 (** Deterministic text report (golden-tested; no wall-clock or

@@ -5,9 +5,13 @@ type t
 
 val create :
   program:P4ir.Ast.program -> device:Target.Device.t -> Channel.endpoint -> t
+(** Instantiate generator and checker on [device] and bind them to the
+    device side of the management channel. *)
 
 val generator : t -> Generator.t
 val checker : t -> Checker.t
+(** Direct access to the two in-device blocks (tests and the harness
+    self-check use these; the host tool goes through {!Controller}). *)
 
 val process : t -> unit
 (** Drain and execute every pending host message, sending replies. *)

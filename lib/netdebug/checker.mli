@@ -18,14 +18,19 @@ val create : ?capture_limit:int -> program:P4ir.Ast.program -> Target.Device.t -
 (** Attaches the device's check tap. [capture_limit] defaults to 64. *)
 
 val configure : t -> Wire.rule list -> unit
+(** Replace the rule set and reset statistics and captures. *)
 
 val summary : t -> Wire.checker_summary
+(** Counters (seen/passed/failed per rule) plus the capture ring of
+    failing packets — the payload of a [Read_checker] reply. *)
 
 val latency : t -> Stats.Histogram.t
 (** Per-packet data-plane latency (out - in virtual time) of every packet
     seen at the check point. *)
 
 val throughput : t -> Stats.Rate.t
+(** Bit/packet rate over the virtual-time window the check point has
+    observed. *)
 
 val clear : t -> unit
 (** Reset statistics and captures, keep the rules. *)

@@ -15,14 +15,19 @@
 type t
 
 val create : program:P4ir.Ast.program -> Target.Device.t -> t
+(** A generator attached to [device]'s injection point, mutating fields
+    against [program]'s header layout. *)
 
 val configure : t -> Wire.stream list -> unit
+(** Replace the configured streams (template + mutations + count +
+    pacing each); nothing is injected until {!start}. *)
 
 val start : t -> unit
 (** Render and inject every configured packet, in virtual-time order
     across streams. *)
 
 val packets_sent : t -> int
+(** Total packets injected since creation (or the last {!clear}). *)
 
 val last_dispositions : t -> Target.Device.disposition list
 (** Dispositions of the packets injected by the most recent {!start}, in
@@ -30,3 +35,4 @@ val last_dispositions : t -> Target.Device.disposition list
     protocol). *)
 
 val clear : t -> unit
+(** Drop the configured streams and reset the counters. *)

@@ -32,6 +32,23 @@ let deploy ?(quirks = Sdnet.Quirks.default) ?config ?(install_entries = true) ?s
   let controller = Controller.create ~pump:(fun () -> Agent.process agent) host_ep in
   { bundle; compile_report; device; agent; controller }
 
+let replicate t =
+  let r =
+    deploy
+      ~quirks:t.compile_report.Sdnet.Compile.quirks
+      ~config:(Device.config t.device) ~install_entries:false
+      ~span_sampling:(Telemetry.Span.sampling (Device.spans t.device))
+      t.bundle
+  in
+  let src = Device.runtime t.device and dst = Device.runtime r.device in
+  List.iter
+    (fun table ->
+      List.iter
+        (fun e -> Runtime.add_exn t.bundle.Programs.program dst ~table e)
+        (Runtime.entries src table))
+    (Runtime.tables src);
+  r
+
 let trace_health t =
   let spans = Device.spans t.device in
   let trace = Device.trace t.device in

@@ -25,6 +25,18 @@ val deploy :
     sampling (1 = every packet, 0 = off; metrics stay on regardless).
     @raise Invalid_argument when compilation fails. *)
 
+val replicate : t -> t
+(** A fresh, independent deployment equivalent to [t]: same bundle,
+    compiled under the same quirks and device configuration, same span
+    sampling rate, and the same control-plane entries (cloned from [t]'s
+    runtime in install order, so priorities resolve identically). The
+    replica shares no mutable state with [t] — its device, registers,
+    telemetry and channel are its own — which is what lets worker
+    domains drive replicas concurrently (see [Par]). Not replicated:
+    injected port/register faults ({!Target.Device.set_port_broken} and
+    friends are test-local perturbations, not deployment facts) and any
+    traffic history. *)
+
 val trace_health : t -> string
 (** One-line telemetry health summary: spans retained/evicted, sampling
     rate, trace events recorded/dropped. Surfaces ring-buffer eviction so

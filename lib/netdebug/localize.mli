@@ -33,3 +33,4 @@ val locate :
 (** [count] probes (default 16). *)
 
 val verdict_to_string : verdict -> string
+(** Human-readable rendering, e.g. ["lost in stage ipv4_lpm"]. *)

@@ -56,79 +56,130 @@ module Functional = struct
   let never_forward_rule =
     Controller.expect ~name:"unexpected-output" (Ast.Const Value.fls)
 
-  let run ?oracle ?vectors ?(fuzz = 32) ?fuzz_seed ?(stateful = false) (h : Harness.t) =
-    let oracle = match oracle with Some b -> b | None -> h.Harness.bundle in
-    let oracle_rt = Runtime.create () in
-    (match Runtime.install_all oracle.Programs.program oracle_rt oracle.Programs.entries with
+  (* one vector through one deployment: interpret the spec, program the
+     checker from it, fire the generator, read the verdict back *)
+  let check_vector ?regs oracle oracle_rt (hw : Harness.t) i packet =
+    let ctl = hw.Harness.controller in
+    let spec =
+      (Interp.process ?regs oracle.Programs.program oracle_rt
+         ~ingress_port:Harness.generator_port packet)
+        .Interp.result
+    in
+    let* () = Controller.clear_test_state ctl in
+    let rules =
+      match spec with
+      | Interp.Forwarded (port, out_bits) ->
+          rules_for_expected oracle.Programs.program port out_bits
+      | Interp.Dropped _ -> [ never_forward_rule ]
+    in
+    let* () = Controller.configure_checker ctl rules in
+    let* () = Controller.configure_generator ctl [ Controller.stream packet ] in
+    let* () = Controller.start_generator ctl in
+    let* summary = Controller.read_checker ctl in
+    let mismatch expected got =
+      Some { mm_index = i; mm_packet = packet; mm_expected = expected; mm_got = got }
+    in
+    match spec with
+    | Interp.Forwarded (port, _) ->
+        if summary.Wire.cs_total_seen = 0 then
+          mismatch (Printf.sprintf "forward to port %d" port) "packet never emitted"
+        else begin
+          let failing =
+            List.filter (fun rs -> rs.Wire.rs_failed > 0) summary.Wire.cs_rules
+          in
+          if failing <> [] then
+            mismatch
+              (Printf.sprintf "forward to port %d with spec field values" port)
+              (Printf.sprintf "rule(s) failed: %s"
+                 (String.concat ", " (List.map (fun rs -> rs.Wire.rs_name) failing)))
+          else None
+        end
+    | Interp.Dropped reason ->
+        if summary.Wire.cs_total_seen > 0 then
+          let port =
+            match summary.Wire.cs_captures with
+            | c :: _ -> c.Wire.cap_port
+            | [] -> -1
+          in
+          mismatch
+            (Printf.sprintf "drop (%s)" reason)
+            (Printf.sprintf "forwarded to port %d" port)
+        else None
+
+  let oracle_runtime oracle =
+    let rt = Runtime.create () in
+    (match Runtime.install_all oracle.Programs.program rt oracle.Programs.entries with
     | Ok () -> ()
     | Error e -> invalid_arg ("Usecases.Functional: " ^ e));
+    rt
+
+  (* parallel sweep: shard the vector array over worker-owned harness
+     replicas. Every vector is independent (registers reset before each
+     one), so the per-vector verdict depends only on the vector — the
+     report is identical for any jobs >= 2 regardless of scheduling. *)
+  let run_sharded ~jobs oracle oracle_rt (h : Harness.t) vecs =
+    Par.Pool.with_pool ~jobs (fun pool ->
+        let shards =
+          Par.Shard.create pool (fun w ->
+              if w = 0 then (h, oracle_rt)
+              else (Harness.replicate h, oracle_runtime oracle))
+        in
+        let out =
+          Par.Pool.map_chunks pool ~chunk:8
+            (fun ~worker i packet ->
+              let hw, rtw = Par.Shard.get shards ~worker in
+              P4ir.Regstate.reset (Device.registers hw.Harness.device);
+              check_vector oracle rtw hw i packet)
+            vecs
+        in
+        (* fold worker telemetry back into the caller's device, ascending
+           worker order (associative merges: order only for determinism) *)
+        Par.Shard.iter shards (fun w (hw, _) ->
+            if w > 0 then
+              Telemetry.Registry.merge
+                ~into:(Device.metrics h.Harness.device)
+                (Device.metrics hw.Harness.device));
+        out)
+
+  let run ?oracle ?vectors ?(fuzz = 32) ?fuzz_seed ?(stateful = false) ?(jobs = 1)
+      (h : Harness.t) =
+    let oracle = match oracle with Some b -> b | None -> h.Harness.bundle in
+    let oracle_rt = oracle_runtime oracle in
     let vectors =
       match vectors with
       | Some v -> v
       | None -> Vectors.from_paths oracle.Programs.program oracle_rt
     in
     let vectors = vectors @ Vectors.fuzz ?seed:fuzz_seed ~count:fuzz () in
-    let ctl = h.Harness.controller in
-    (* stateful mode: thread one register store through the oracle and
-       start the device's registers from a known (zero) state, so both
-       sides see the same packet history *)
-    let oracle_regs =
-      if stateful then begin
-        P4ir.Regstate.reset (Device.registers h.Harness.device);
-        Some (P4ir.Regstate.create oracle.Programs.program)
-      end
-      else None
-    in
-    let mismatches = ref [] in
-    List.iteri
-      (fun i packet ->
-        let spec =
-          (Interp.process ?regs:oracle_regs oracle.Programs.program oracle_rt
-             ~ingress_port:Harness.generator_port packet)
-            .Interp.result
-        in
-        let* () = Controller.clear_test_state ctl in
-        let rules =
-          match spec with
-          | Interp.Forwarded (port, out_bits) ->
-              rules_for_expected oracle.Programs.program port out_bits
-          | Interp.Dropped _ -> [ never_forward_rule ]
-        in
-        let* () = Controller.configure_checker ctl rules in
-        let* () = Controller.configure_generator ctl [ Controller.stream packet ] in
-        let* () = Controller.start_generator ctl in
-        let* summary = Controller.read_checker ctl in
-        let mismatch expected got =
-          mismatches :=
-            { mm_index = i; mm_packet = packet; mm_expected = expected; mm_got = got }
-            :: !mismatches
-        in
-        match spec with
-        | Interp.Forwarded (port, _) ->
-            if summary.Wire.cs_total_seen = 0 then
-              mismatch (Printf.sprintf "forward to port %d" port) "packet never emitted"
-            else begin
-              let failing =
-                List.filter (fun rs -> rs.Wire.rs_failed > 0) summary.Wire.cs_rules
-              in
-              if failing <> [] then
-                mismatch
-                  (Printf.sprintf "forward to port %d with spec field values" port)
-                  (Printf.sprintf "rule(s) failed: %s"
-                     (String.concat ", " (List.map (fun rs -> rs.Wire.rs_name) failing)))
-            end
-        | Interp.Dropped reason ->
-            if summary.Wire.cs_total_seen > 0 then
-              let port =
-                match summary.Wire.cs_captures with
-                | c :: _ -> c.Wire.cap_port
-                | [] -> -1
-              in
-              mismatch
-                (Printf.sprintf "drop (%s)" reason)
-                (Printf.sprintf "forwarded to port %d" port))
-      vectors;
-    { fr_tested = List.length vectors; fr_mismatches = List.rev !mismatches }
+    let jobs = max 1 jobs in
+    if jobs > 1 && not stateful then begin
+      let vecs = Array.of_list vectors in
+      let results = run_sharded ~jobs oracle oracle_rt h vecs in
+      {
+        fr_tested = Array.length vecs;
+        fr_mismatches = List.filter_map Fun.id (Array.to_list results);
+      }
+    end
+    else begin
+      (* stateful mode: thread one register store through the oracle and
+         start the device's registers from a known (zero) state, so both
+         sides see the same packet history — inherently sequential *)
+      let oracle_regs =
+        if stateful then begin
+          P4ir.Regstate.reset (Device.registers h.Harness.device);
+          Some (P4ir.Regstate.create oracle.Programs.program)
+        end
+        else None
+      in
+      let mismatches = ref [] in
+      List.iteri
+        (fun i packet ->
+          match check_vector ?regs:oracle_regs oracle oracle_rt h i packet with
+          | Some m -> mismatches := m :: !mismatches
+          | None -> ())
+        vectors;
+      { fr_tested = List.length vectors; fr_mismatches = List.rev !mismatches }
+    end
 
   let pp ppf r =
     Format.fprintf ppf "functional: %d vectors, %d mismatch(es)" r.fr_tested

@@ -25,6 +25,7 @@ module Functional : sig
     ?fuzz:int ->
     ?fuzz_seed:int ->
     ?stateful:bool ->
+    ?jobs:int ->
     Harness.t ->
     report
   (** [vectors] defaults to symbolic-execution path witnesses of the
@@ -32,11 +33,21 @@ module Functional : sig
       from [fuzz_seed] (default {!Vectors.fuzz}'s seed, 77).
       [stateful] (default false) resets the device's registers and threads
       one register store through the oracle so programs with persistent
-      state (rate limiters, caches) can be validated packet-by-packet. *)
+      state (rate limiters, caches) can be validated packet-by-packet.
+      [jobs] (default 1) shards the vectors across that many worker
+      domains, each driving its own {!Harness.replicate} replica of the
+      deployment; per-worker telemetry is folded back into [h]'s device
+      registry on join. Parallel sweeps treat every vector as independent
+      — device registers are reset before each one — so the report is the
+      same for any [jobs >= 2]; it also matches [jobs = 1] for programs
+      without persistent register state. When [stateful] is set, [jobs]
+      is ignored (packet history is inherently sequential). *)
 
   val passed : report -> bool
+  (** True iff no vector mismatched. *)
 
   val pp : Format.formatter -> report -> unit
+  (** One summary line plus one line per mismatch. *)
 end
 
 module Performance : sig
@@ -80,6 +91,7 @@ module Compiler_check : sig
   (** The probe program whose behaviour the quirk perturbs. *)
 
   val battery : unit -> detection list
+  (** Run the faithful control plus one detection per shipped quirk. *)
 end
 
 module Architecture_check : sig
@@ -93,6 +105,8 @@ module Architecture_check : sig
   }
 
   val probe : ?config:Target.Config.t -> unit -> probe_result list
+  (** Binary-search each limit by compiling synthesized programs against
+      [config] (default {!Target.Config.netfpga_sume}). *)
 end
 
 module Resources : sig
@@ -111,6 +125,8 @@ module Resources : sig
 
   val inventory :
     ?config:Target.Config.t -> ?bundles:P4ir.Programs.bundle list -> unit -> row list
+  (** One row per bundle (default: the whole program library), from the
+      compile reports — no deployment involved. *)
 end
 
 module Status : sig
@@ -149,6 +165,10 @@ module Comparison : sig
     P4ir.Programs.bundle ->
     P4ir.Programs.bundle ->
     report
+  (** Deploy both bundles (under [quirks_a] / [quirks_b], both defaulting
+      to the shipped toolchain) and diff every emission byte-for-byte.
+      [probes] defaults to path witnesses of the first bundle plus fuzz. *)
 
   val equivalent : report -> bool
+  (** True iff no probe diverged. *)
 end

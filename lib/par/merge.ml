@@ -1,0 +1,15 @@
+let reduce f init xs = Array.fold_left f init xs
+
+let concat xs = List.concat (Array.to_list xs)
+
+let dedup_by ~key xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    xs

@@ -1,0 +1,20 @@
+(** Deterministic folding of per-worker (or per-shard) results.
+
+    Parallel decomposition is only safe to report from when the merge is
+    a fixed-order fold of an associative operation: the combination then
+    depends on the decomposition (which is fixed), never on scheduling.
+    These helpers make that order explicit — always ascending slot/index
+    order, the same order {!Shard.iter} uses. *)
+
+val reduce : ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a
+(** [reduce f init xs] folds [xs] left-to-right. [f] should be
+    associative for the parallel decomposition to be meaningful. *)
+
+val concat : 'a list array -> 'a list
+(** Concatenate per-slot lists in slot order. *)
+
+val dedup_by : key:('a -> string) -> 'a list -> 'a list
+(** Keep the first occurrence of every key, preserving list order — the
+    cross-shard deduplication step. Feed it a list already sorted by the
+    deterministic global order (e.g. global execution index) so "first"
+    is well defined. *)

@@ -1,0 +1,26 @@
+(* One lazily initialized slot per pool worker. No locking: slot w is
+   only touched by worker w during a pool task (the pool's join barrier
+   publishes the writes to the coordinator). *)
+
+type 'a t = { slots : 'a option array; init : int -> 'a }
+
+let create pool init = { slots = Array.make (Pool.jobs pool) None; init }
+
+let get t ~worker =
+  match t.slots.(worker) with
+  | Some v -> v
+  | None ->
+      let v = t.init worker in
+      t.slots.(worker) <- Some v;
+      v
+
+let initialized t =
+  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 t.slots
+
+let iter t f =
+  Array.iteri (fun w -> function Some v -> f w v | None -> ()) t.slots
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun w v -> acc := f !acc w v);
+  !acc

@@ -1,0 +1,38 @@
+(** Per-worker state for a {!Pool}: one lazily created value per worker
+    slot.
+
+    The canonical use is a per-domain replica of something mutable and
+    expensive — a deployed device, a telemetry registry, a scratch
+    runtime — that must not be shared between domains. Each worker calls
+    {!get} with its own worker index from inside a pool task; the value
+    is created on first use (in that worker's domain) and reused for the
+    rest of the pool's life. After the pool joins, the coordinator walks
+    the initialized slots in worker order with {!fold} or {!iter} to
+    merge them deterministically (see {!Merge},
+    [Telemetry.Registry.merge]).
+
+    Safety contract: slot [w] may only be touched by worker [w] while a
+    pool task runs, and by the coordinator between {!Pool.run} calls.
+    The pool's barrier provides the happens-before edge; the shard does
+    no locking of its own. *)
+
+type 'a t
+
+val create : Pool.t -> (int -> 'a) -> 'a t
+(** [create pool init] prepares one empty slot per pool worker; slot [w]
+    is filled with [init w] on the first {!get}. *)
+
+val get : 'a t -> worker:int -> 'a
+(** This worker's value, creating it on first use. Call only from the
+    worker that owns the slot (or from the coordinator between runs). *)
+
+val initialized : 'a t -> int
+(** How many slots have been created so far. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visit every initialized slot in ascending worker order — the
+    deterministic merge order. Coordinator-only. *)
+
+val fold : 'a t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+(** Fold over initialized slots in ascending worker order.
+    Coordinator-only. *)

@@ -78,6 +78,16 @@ let percentile t p =
     !result
   end
 
+let absorb a b =
+  for i = 0 to nbins - 1 do
+    a.bins.(i) <- a.bins.(i) + b.bins.(i)
+  done;
+  a.n <- a.n + b.n;
+  a.sum <- a.sum +. b.sum;
+  a.sumsq <- a.sumsq +. b.sumsq;
+  a.minv <- min a.minv b.minv;
+  a.maxv <- max a.maxv b.maxv
+
 let merge a b =
   let t = create () in
   for i = 0 to nbins - 1 do

@@ -32,6 +32,12 @@ val percentile : t -> float -> float
 val merge : t -> t -> t
 (** New histogram holding both datasets. *)
 
+val absorb : t -> t -> unit
+(** [absorb a b] adds [b]'s dataset into [a] in place, leaving [b]
+    untouched. Use when [a] is a live handle held by its owner (e.g. a
+    registered device histogram) and replacing it would orphan future
+    updates. [a] and [b] must be distinct. *)
+
 val clear : t -> unit
 
 val pp_summary : Format.formatter -> t -> unit

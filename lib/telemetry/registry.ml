@@ -46,6 +46,33 @@ let histogram t ?(help = "") name =
       Hashtbl.replace t.histograms name h;
       h
 
+(* Fold a worker shard's metrics into [into]. Help text is a single
+   Hashtbl.replace binding per name — when two shards registered the same
+   metric the help must end up bound exactly once, never stacked with
+   Hashtbl.add (a stacked binding would make the later removal/replace in
+   set_help expose a stale duplicate and double-count the registration). *)
+let merge ~into src =
+  if into.counters != src.counters then
+    List.iter
+      (fun (name, v) -> Stats.Counter.Set.add into.counters name v)
+      (Stats.Counter.Set.to_alist src.counters);
+  Hashtbl.iter
+    (fun name h ->
+      let dst =
+        match Hashtbl.find_opt into.histograms name with
+        | Some d -> d
+        | None ->
+            let d = Stats.Histogram.create () in
+            Hashtbl.replace into.histograms name d;
+            d
+      in
+      (* in-place absorb: owners of [dst] keep their live handle *)
+      if dst != h then Stats.Histogram.absorb dst h)
+    src.histograms;
+  Hashtbl.iter
+    (fun name help -> if Hashtbl.find_opt into.helps name = None then set_help into name help)
+    src.helps
+
 let snapshot t =
   let counters =
     List.map

@@ -32,6 +32,21 @@ val histogram : t -> ?help:string -> string -> Stats.Histogram.t
 val help : t -> string -> string
 (** Help text attached at registration; "" when none. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src]'s metrics into [into]: counters are
+    added by name (skipped entirely when both registries share one
+    counter set — the values are already there), histogram datasets are
+    absorbed in place into [into]'s handles so owners holding them keep
+    seeing updates, and help text for a name already registered in
+    [into] is kept as-is — merging two shards that registered the same
+    metric binds its help exactly once. Gauges are {e not} merged: they
+    are live callbacks closed over [src]'s owner and would outlive it.
+    [src] is left unchanged. This is the deterministic join step for
+    per-worker registry shards (see [Par.Shard]): folding shards in
+    ascending worker order yields the same totals as a sequential run,
+    because counter addition and histogram absorption are associative
+    and commutative. *)
+
 val snapshot : t -> (string * string * value) list
 (** All metrics — every counter in the set, each gauge read now, each
     histogram — as (name, help, value), sorted by name. *)

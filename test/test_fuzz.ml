@@ -115,6 +115,34 @@ let test_guided_beats_blind () =
     true
     (g.Campaign.rp_edges > b.Campaign.rp_edges)
 
+let test_campaign_jobs_invariant () =
+  (* the tentpole guarantee: jobs only schedules the fixed logical shards
+     onto domains, so any jobs value renders byte-identically *)
+  let seq = Lazy.force guided in
+  let par = Campaign.run ~jobs:4 ~budget:2000 ~seed:1 Programs.basic_router in
+  check_string "guided: jobs=4 renders identically to jobs=1" (Campaign.render seq)
+    (Campaign.render par);
+  let bseq = Campaign.run_blind ~budget:500 ~seed:7 Programs.basic_router in
+  let bpar = Campaign.run_blind ~jobs:3 ~budget:500 ~seed:7 Programs.basic_router in
+  check_string "blind: jobs=3 renders identically to jobs=1" (Campaign.render bseq)
+    (Campaign.render bpar)
+
+let test_campaign_odd_budgets () =
+  (* budgets below / not divisible by the shard count still run exactly
+     [budget] executions with in-range discovery indices *)
+  List.iter
+    (fun budget ->
+      let r = Campaign.run ~jobs:2 ~budget ~seed:3 Programs.basic_router in
+      check_int
+        (Printf.sprintf "budget %d spent exactly" budget)
+        budget r.Campaign.rp_executions;
+      List.iter
+        (fun d ->
+          check_bool "found_at within budget" true
+            (d.Campaign.dv_found_at >= 1 && d.Campaign.dv_found_at <= budget))
+        r.Campaign.rp_divergences)
+    [ 1; 5; 8; 13; 100 ]
+
 let test_campaign_rejects_zero_budget () =
   Alcotest.check_raises "budget must be positive"
     (Invalid_argument "Fuzz.Campaign.run: budget must be positive") (fun () ->
@@ -178,6 +206,8 @@ let () =
           Alcotest.test_case "faithful device is clean" `Quick
             test_campaign_faithful_is_clean;
           Alcotest.test_case "guided beats blind" `Quick test_guided_beats_blind;
+          Alcotest.test_case "jobs invariance" `Quick test_campaign_jobs_invariant;
+          Alcotest.test_case "odd budgets" `Quick test_campaign_odd_budgets;
           Alcotest.test_case "zero budget rejected" `Quick
             test_campaign_rejects_zero_budget;
           Alcotest.test_case "golden report" `Quick test_report_golden;

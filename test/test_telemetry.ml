@@ -205,6 +205,70 @@ let test_registry_idempotent_registration () =
   Histogram.add h1 1.0;
   check_int "same histogram" 1 (Histogram.count h2)
 
+(* Two worker shards register the same metric names (exactly what
+   per-domain registry replicas do); merging them into a target must sum
+   counters and histogram datasets, keep live histogram handles valid,
+   and bind the shared help text exactly once — not once per shard. *)
+let test_registry_merge_shards () =
+  let global = Registry.create () in
+  let live = Registry.histogram global ~help:"pipeline latency" "lat/ns" in
+  Histogram.add live 1.0;
+  let c = Registry.counter global ~help:"rx packets" "rx/total" in
+  Counter.incr c;
+  let shard n =
+    let r = Registry.create () in
+    let h = Registry.histogram r ~help:"pipeline latency" "lat/ns" in
+    for _ = 1 to n do
+      Histogram.add h 2.0
+    done;
+    Counter.add (Registry.counter r ~help:"rx packets" "rx/total") (Int64.of_int n);
+    ignore (Registry.counter r ~help:"shard only" "shard/extra");
+    r
+  in
+  Registry.merge ~into:global (shard 2);
+  Registry.merge ~into:global (shard 3);
+  (* the pre-merge handle still observes merged data and future updates *)
+  check_int "histogram datasets summed" 6 (Histogram.count live);
+  Histogram.add live 1.0;
+  (match List.assoc_opt "lat/ns" (List.map (fun (n, _, v) -> (n, v)) (Registry.snapshot global)) with
+  | Some (Registry.Histogram h) -> check_int "live handle kept" 7 (Histogram.count h)
+  | _ -> Alcotest.fail "lat/ns should stay a histogram");
+  Alcotest.(check int64)
+    "counters summed" 6L
+    (Counter.Set.get (Registry.counter_set global) "rx/total");
+  Alcotest.(check int64)
+    "shard-only counter arrives" 0L
+    (Counter.Set.get (Registry.counter_set global) "shard/extra");
+  check_string "help bound once, target's kept" "pipeline latency" (Registry.help global "lat/ns");
+  check_string "shard help adopted when target has none" "shard only"
+    (Registry.help global "shard/extra");
+  (* exporters must see exactly one binding: a stacked help would break
+     the prometheus exposition with duplicate # HELP lines *)
+  let exposition = Export.prometheus global in
+  let occurrences needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i acc =
+      if i + n > h then acc
+      else go (i + 1) (if String.sub hay i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  check_int "single HELP line" 1 (occurrences "# HELP netdebug_lat_ns" exposition)
+
+let test_registry_merge_shared_counter_set () =
+  (* shards wrapping the SAME counter set (the device's own) must not
+     double-count on merge: the values are already in the set *)
+  let set = Counter.Set.create () in
+  let a = Registry.create ~counters:set () in
+  let b = Registry.create ~counters:set () in
+  Counter.incr (Registry.counter a "x");
+  Counter.incr (Registry.counter b "x");
+  Registry.merge ~into:a b;
+  Alcotest.(check int64) "no double count" 2L (Counter.Set.get set "x");
+  (* merging a registry into itself is likewise a no-op for counters *)
+  Registry.merge ~into:a a;
+  Alcotest.(check int64) "self merge is a no-op" 2L (Counter.Set.get set "x")
+
 (* ---------------- device span trees ---------------- *)
 
 let span_names_of_packet d id =
@@ -386,6 +450,9 @@ let () =
           Alcotest.test_case "wraps counter set" `Quick test_registry_wraps_counter_set;
           Alcotest.test_case "idempotent registration" `Quick
             test_registry_idempotent_registration;
+          Alcotest.test_case "merge shards" `Quick test_registry_merge_shards;
+          Alcotest.test_case "merge with shared counter set" `Quick
+            test_registry_merge_shared_counter_set;
         ] );
       ( "device spans",
         [
