@@ -86,15 +86,53 @@ let get_bit t i =
   if i < 0 || i >= t.len then invalid_arg "Bitstring.get_bit";
   get_bit_raw t.data i
 
+(* Byte-at-a-time read: at most 9 iterations for a 64-bit field, vs one
+   iteration per bit. This is the hot path of both parser engines. *)
+let extract_raw data off width =
+  let v = ref 0L and pos = ref off and remaining = ref width in
+  while !remaining > 0 do
+    let bit_in_byte = !pos land 7 in
+    let avail = 8 - bit_in_byte in
+    let nbits = if !remaining < avail then !remaining else avail in
+    let byte = Char.code (String.unsafe_get data (!pos lsr 3)) in
+    let chunk = (byte lsr (avail - nbits)) land ((1 lsl nbits) - 1) in
+    v := Int64.logor (Int64.shift_left !v nbits) (Int64.of_int chunk);
+    pos := !pos + nbits;
+    remaining := !remaining - nbits
+  done;
+  !v
+
 let extract t ~off ~width =
   if width < 0 || width > 64 then invalid_arg "Bitstring.extract: width";
   if off < 0 || off + width > t.len then invalid_arg "Bitstring.extract: range";
-  let v = ref 0L in
-  for i = off to off + width - 1 do
-    v := Int64.shift_left !v 1;
-    if get_bit_raw t.data i then v := Int64.logor !v 1L
-  done;
-  !v
+  extract_raw t.data off width
+
+(* Overwrite [width] bits at bit [off] with the low bits of [v], MSB first,
+   byte-at-a-time from the LSB end. Every target bit is written (both ones
+   and zeros), so stale buffer content cannot leak through. *)
+let blit_int64_raw b ~off ~width v =
+  let v = ref v and remaining = ref width in
+  let pos = ref (off + width) in
+  while !remaining > 0 do
+    let last = !pos - 1 in
+    let bit_in_byte = last land 7 in
+    let nbits = if !remaining < bit_in_byte + 1 then !remaining else bit_in_byte + 1 in
+    let shift = 7 - bit_in_byte in
+    let mask = ((1 lsl nbits) - 1) lsl shift in
+    let chunk = Int64.to_int (Int64.logand !v (Int64.of_int ((1 lsl nbits) - 1))) lsl shift in
+    let bidx = last lsr 3 in
+    let cur = Char.code (Bytes.unsafe_get b bidx) in
+    Bytes.unsafe_set b bidx (Char.unsafe_chr ((cur land lnot mask) lor chunk));
+    v := Int64.shift_right_logical !v nbits;
+    remaining := !remaining - nbits;
+    pos := !pos - nbits
+  done
+
+let blit_int64 b ~off ~width v =
+  if width < 0 || width > 64 then invalid_arg "Bitstring.blit_int64: width";
+  if off < 0 || off + width > Bytes.length b * 8 then
+    invalid_arg "Bitstring.blit_int64: range";
+  blit_int64_raw b ~off ~width v
 
 let sub t ~off ~len =
   if off < 0 || len < 0 || off + len > t.len then invalid_arg "Bitstring.sub";
@@ -173,10 +211,7 @@ module Writer = struct
   let push_int64 w ~width v =
     if width < 0 || width > 64 then invalid_arg "Writer.push_int64: width";
     ensure w width;
-    for i = 0 to width - 1 do
-      let bit = Int64.logand (Int64.shift_right_logical v (width - 1 - i)) 1L in
-      set_bit_raw w.buf (w.bits + i) (bit = 1L)
-    done;
+    blit_int64_raw w.buf ~off:w.bits ~width v;
     w.bits <- w.bits + width
 
   let push_bits w (b : bits) =
@@ -195,6 +230,69 @@ module Writer = struct
     let b = Bytes.make (bytes_for_bits w.bits) '\000' in
     blit_bits (Bytes.unsafe_to_string w.buf) 0 b 0 w.bits;
     { data = Bytes.unsafe_to_string b; len = w.bits }
+end
+
+module Builder = struct
+  type bits = t
+
+  (* Unlike {!Writer}, the buffer is retained across {!reset}, so a
+     steady-state emit loop (the staged deparser) allocates nothing per
+     packet except the final {!contents} copy — and even that can be
+     skipped by summing over {!buffer} directly. All writes fully
+     overwrite their target bits, so stale content from a previous packet
+     never leaks; only the pad bits of the final partial byte need
+     canonicalizing, which {!contents} does. *)
+  type t = { mutable buf : Bytes.t; mutable bits : int }
+
+  let create ?(capacity_bits = 512) () =
+    { buf = Bytes.make (max 1 (bytes_for_bits capacity_bits)) '\000'; bits = 0 }
+
+  let reset b = b.bits <- 0
+
+  let length b = b.bits
+
+  let ensure b extra_bits =
+    let needed = bytes_for_bits (b.bits + extra_bits) in
+    if needed > Bytes.length b.buf then begin
+      let cap = ref (Bytes.length b.buf) in
+      while !cap < needed do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.make !cap '\000' in
+      Bytes.blit b.buf 0 nb 0 (Bytes.length b.buf);
+      b.buf <- nb
+    end
+
+  let add_int64 b ~width v =
+    if width < 0 || width > 64 then invalid_arg "Builder.add_int64: width";
+    ensure b width;
+    blit_int64_raw b.buf ~off:b.bits ~width v;
+    b.bits <- b.bits + width
+
+  let add_bits b (src : bits) =
+    ensure b src.len;
+    blit_bits src.data 0 b.buf b.bits src.len;
+    b.bits <- b.bits + src.len
+
+  let add_sub b (src : bits) ~off ~len =
+    if off < 0 || len < 0 || off + len > src.len then invalid_arg "Builder.add_sub";
+    ensure b len;
+    blit_bits src.data off b.buf b.bits len;
+    b.bits <- b.bits + len
+
+  let buffer b = b.buf
+
+  let contents b =
+    let nbytes = bytes_for_bits b.bits in
+    let out = Bytes.sub b.buf 0 nbytes in
+    (* zero the pad bits of the final partial byte: blit-based writes leave
+       whatever the previous (longer) packet put there *)
+    let pad = (nbytes * 8) - b.bits in
+    if pad > 0 then begin
+      let last = Char.code (Bytes.get out (nbytes - 1)) in
+      Bytes.set out (nbytes - 1) (Char.unsafe_chr (last land (0xff lsl pad) land 0xff))
+    end;
+    { data = Bytes.unsafe_to_string out; len = b.bits }
 end
 
 module Reader = struct

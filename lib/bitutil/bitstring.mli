@@ -42,6 +42,12 @@ val sub : t -> off:int -> len:int -> t
 val set_int64 : t -> off:int -> width:int -> int64 -> t
 (** Functional update of [width] bits at [off]. *)
 
+val blit_int64 : Bytes.t -> off:int -> width:int -> int64 -> unit
+(** In-place update of [width] bits at bit offset [off] in a raw byte
+    buffer, MSB first — the mutable counterpart of {!set_int64}. Every
+    target bit is overwritten. @raise Invalid_argument when out of
+    range or [width] is not in [\[0, 64\]]. *)
+
 val append : t -> t -> t
 
 val concat : t list -> t
@@ -68,6 +74,44 @@ module Writer : sig
   val push_string : t -> string -> unit
   val length : t -> int
   val contents : t -> bits
+end
+
+module Builder : sig
+  (** Reusable mutable accumulator for building bit strings front-to-back.
+
+      Unlike {!Writer}, a builder is meant to be kept and {!reset} between
+      uses: the backing buffer is retained, so a steady-state emit loop
+      (e.g. the staged deparser) performs no per-packet allocation beyond
+      the final {!contents} copy. Observationally it agrees with
+      {!set_int64}/{!concat} composition (property-tested). *)
+
+  type bits = t
+  type t
+
+  val create : ?capacity_bits:int -> unit -> t
+  (** [capacity_bits] defaults to 512; the buffer grows by doubling. *)
+
+  val reset : t -> unit
+  (** Forget the accumulated bits; the buffer is retained. *)
+
+  val length : t -> int
+  (** Bits accumulated since the last {!reset}. *)
+
+  val add_int64 : t -> width:int -> int64 -> unit
+  val add_bits : t -> bits -> unit
+
+  val add_sub : t -> bits -> off:int -> len:int -> unit
+  (** Append [len] bits of [src] starting at [off] without materializing
+      the intermediate {!sub}. *)
+
+  val buffer : t -> Bytes.t
+  (** The live backing buffer ({!length} bits valid, pad bits of the final
+      partial byte unspecified). For zero-copy consumers such as
+      {!Checksum.ones_complement_sum_bytes}; invalidated by further
+      writes. *)
+
+  val contents : t -> bits
+  (** Snapshot as an immutable bit string (allocates the copy). *)
 end
 
 module Reader : sig

@@ -8,6 +8,14 @@ val checksum : string -> int
 (** The Internet checksum: complement of {!ones_complement_sum}, in
     [\[0, 0xffff\]]. *)
 
+val ones_complement_sum_bytes : Bytes.t -> bits:int -> int
+(** Allocation-free variant over the first [bits] bits of a reused byte
+    buffer (e.g. {!Bitstring.Builder.buffer}); pad bits of the final
+    partial byte are treated as zero, matching {!Bitstring.to_string}. *)
+
+val checksum_bytes : Bytes.t -> bits:int -> int
+(** Complemented form of {!ones_complement_sum_bytes}. *)
+
 val checksum_bits : Bitstring.t -> int
 (** Checksum over the byte rendering of a bit string. *)
 

@@ -14,19 +14,28 @@ type observation = {
   parser : Parse.outcome;
   tables : (string * bool * string) list;
       (** (table, hit, action) in application order *)
-  counters : (string * int) list;  (** counter increments, by name *)
+  counters : (string * int) list;
+      (** counter increments, by name, in first-increment order *)
   failed_asserts : string list;
 }
 
 val process :
+  ?engine:Compilecore.engine ->
   ?regs:Regstate.t ->
   Ast.program -> Runtime.t -> ingress_port:int -> Bitutil.Bitstring.t -> observation
 (** Run one packet through parse -> ingress -> egress -> deparse. A packet
     whose egress_spec was never assigned leaves on port 0. Pass [regs] to
     thread persistent register state across calls; the default is a fresh
-    zeroed store per packet (pure single-packet specification semantics). *)
+    zeroed store per packet (pure single-packet specification semantics).
+
+    [engine] selects the executor (default {!Compilecore.default_engine},
+    i.e. [`Staged] unless [NETDEBUG_ENGINE=tree]): [`Tree] walks the AST
+    directly; [`Staged] runs the program compiled to closures, cached per
+    domain on the (program, runtime) pair. The two are observationally
+    equivalent; staged is several times faster per packet. *)
 
 val forward :
+  ?engine:Compilecore.engine ->
   ?regs:Regstate.t ->
   Ast.program -> Runtime.t -> ingress_port:int -> Bitutil.Bitstring.t ->
   (int * Bitutil.Bitstring.t) option

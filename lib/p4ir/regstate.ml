@@ -26,6 +26,8 @@ let write t name idx v =
 let reset t =
   Hashtbl.iter (fun _ (width, cells) -> Array.fill cells 0 (Array.length cells) (Value.zero width)) t
 
+let cells = slot
+
 let dump t name =
   let _, cells = slot t name in
   Array.copy cells

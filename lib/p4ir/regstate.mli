@@ -23,3 +23,9 @@ val reset : t -> unit
 
 val dump : t -> string -> Value.t array
 (** Snapshot of one register array (copy). *)
+
+val cells : t -> string -> int * Value.t array
+(** [(width, live cell array)] — the store itself, not a copy; mutations
+    are shared with {!read}/{!write}. Used by the staged engine to resolve
+    register accesses to array slots once at instantiation time.
+    @raise Invalid_argument for an undeclared register. *)

@@ -1,19 +1,25 @@
-type t = (string, Entry.t list ref) Hashtbl.t
-(* entry lists are kept reversed (newest first) and re-reversed on read *)
+(* entry lists are kept reversed (newest first) and re-reversed on read.
+   [gen] counts mutations; the staged engine uses it to invalidate its
+   per-table compiled matchers without hashing table contents. *)
+type t = { tbl : (string, Entry.t list ref) Hashtbl.t; mutable gen : int }
 
-let create () = Hashtbl.create 8
+let create () = { tbl = Hashtbl.create 8; gen = 0 }
+
+let generation t = t.gen
+
+let bump t = t.gen <- t.gen + 1
 
 let copy t =
   let t' = Hashtbl.create 8 in
-  Hashtbl.iter (fun k v -> Hashtbl.add t' k (ref !v)) t;
-  t'
+  Hashtbl.iter (fun k v -> Hashtbl.add t' k (ref !v)) t.tbl;
+  { tbl = t'; gen = 0 }
 
 let slot t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.tbl name with
   | Some r -> r
   | None ->
       let r = ref [] in
-      Hashtbl.add t name r;
+      Hashtbl.add t.tbl name r;
       r
 
 let validate program ~table (e : Entry.t) existing_count =
@@ -74,6 +80,7 @@ let add program t ~table e =
   | Error _ as err -> err
   | Ok () ->
       r := e :: !r;
+      bump t;
       Ok ()
 
 let add_exn program t ~table e =
@@ -89,12 +96,21 @@ let install_all program t pairs =
   in
   go pairs
 
-let entries t name = match Hashtbl.find_opt t name with Some r -> List.rev !r | None -> []
+let entries t name =
+  match Hashtbl.find_opt t.tbl name with Some r -> List.rev !r | None -> []
 
-let entry_count t name = match Hashtbl.find_opt t name with Some r -> List.length !r | None -> 0
+let entry_count t name =
+  match Hashtbl.find_opt t.tbl name with Some r -> List.length !r | None -> 0
 
-let clear_table t name = match Hashtbl.find_opt t name with Some r -> r := [] | None -> ()
+let clear_table t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some r ->
+      r := [];
+      bump t
+  | None -> ()
 
-let clear t = Hashtbl.reset t
+let clear t =
+  Hashtbl.reset t.tbl;
+  bump t
 
-let tables t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+let tables t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort String.compare

@@ -30,3 +30,9 @@ val clear_table : t -> string -> unit
 val clear : t -> unit
 
 val tables : t -> string list
+
+val generation : t -> int
+(** Monotone mutation counter: bumped by every successful {!add},
+    {!clear_table} and {!clear}. The staged engine ({!Compilecore})
+    compares it against the generation its per-table matchers were built
+    from, making matcher invalidation O(1) per packet. *)

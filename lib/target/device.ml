@@ -7,6 +7,7 @@ module Value = P4ir.Value
 module Runtime = P4ir.Runtime
 module Regstate = P4ir.Regstate
 module Stdmeta = P4ir.Stdmeta
+module Compilecore = P4ir.Compilecore
 module Counter = Stats.Counter
 module Histogram = Stats.Histogram
 module Bitstring = Bitutil.Bitstring
@@ -76,9 +77,19 @@ type stage_state = {
   mutable ss_fault_hits : int;
 }
 
+(* The staged execution state: the pipeline's program compiled to closures
+   (shared across devices via the pipeline's lazy core) plus this device's
+   instance of it. [sg_stage_of_table] maps the core's dense table ids to
+   the match-action stages so the per-apply callback does no hashing. *)
+type dstaged = {
+  sg : Compilecore.inst;
+  sg_core : Compilecore.t;
+}
+
 type t = {
   pipeline : Pipeline.t;
   config : Config.t;
+  staged : dstaged option;
   runtime : Runtime.t;
   regs : Regstate.t;
   counters : Counter.Set.t;
@@ -161,7 +172,19 @@ let fault_at env ss =
   fault_drop ss;
   fault_corrupt env ss
 
-let create (pipeline : Pipeline.t) =
+(* Staged counterparts: the corrupt fault mutates the slot array directly. *)
+let fault_corrupt_staged si ss =
+  match ss.ss_fault with
+  | Some (Fault.Corrupt_field (h, f, mask)) ->
+      Counter.incr ss.ss_fault_applied;
+      Compilecore.corrupt_field si h f mask
+  | _ -> ()
+
+let fault_at_staged si ss =
+  fault_drop ss;
+  fault_corrupt_staged si ss
+
+let create ?engine (pipeline : Pipeline.t) =
   let config = pipeline.Pipeline.config in
   let program = pipeline.Pipeline.program in
   let cycle_ns = Config.cycle_ns config in
@@ -290,6 +313,74 @@ let create (pipeline : Pipeline.t) =
   in
   let hooks = { base_hooks with Exec.table_always_miss } in
   let ctx = Exec.make_ctx ~hooks ~on_count ~on_assert ~on_table ~regs ~env ~runtime () in
+  let engine = match engine with Some e -> e | None -> Compilecore.default_engine () in
+  let staged =
+    match engine with
+    | `Tree -> None
+    | `Staged ->
+        let core = Lazy.force pipeline.Pipeline.staged in
+        let nt = Compilecore.n_tables core in
+        let stage_of_table =
+          Array.init nt (fun i -> Hashtbl.find_opt by_table (Compilecore.table_name core i))
+        in
+        (* per-id counter cells, resolved on first increment like the
+           string-keyed path above *)
+        let id_counters = Array.make (max 1 (Compilecore.n_counters core)) None in
+        let sg_count id =
+          let c =
+            match id_counters.(id) with
+            | Some c -> c
+            | None ->
+                let name = Compilecore.counter_name core id in
+                let c =
+                  match Hashtbl.find_opt prog_counters name with
+                  | Some c -> c
+                  | None ->
+                      let c = Counter.Set.find counters ("prog/" ^ name) in
+                      Hashtbl.add prog_counters name c;
+                      c
+                in
+                id_counters.(id) <- Some c;
+                c
+          in
+          Counter.incr c
+        in
+        let sg_assert ok _id = if not ok then Counter.incr c_assert_failed in
+        (* tied after [instantiate] so the fault path can reach the
+           instance's own state *)
+        let si_box = ref None in
+        let sg_table id hit action =
+          (match !taps with
+          | Some tp -> tp.tp_table ~table:(Compilecore.table_name core id) ~hit ~action
+          | None -> ());
+          match stage_of_table.(id) with
+          | None -> ()
+          | Some ss ->
+              Counter.incr ss.ss_seen;
+              (match (if hit then ss.ss_hit else ss.ss_miss) with
+              | Some c -> Counter.incr c
+              | None -> ());
+              Trace.record trace ~packet_id:!cur_id
+                ~time_ns:(!cur_entry +. ss.ss_enter_ns)
+                ~component:ss.ss_name
+                (if hit then action else "miss");
+              if !cur_sampled then begin
+                let t0 = !cur_entry +. ss.ss_enter_ns in
+                ignore
+                  (Span.add spanstore ~parent:!cur_root ~packet:!cur_id ~kind:ss.ss_span_kind
+                     ~name:ss.ss_name_id ~t0 ~t1:(t0 +. ss.ss_latency_ns) ~bytes:0 ~flags:0
+                     ~note:(Span.intern spanstore (if hit then action else "miss")))
+              end;
+              if !faults_active then
+                match !si_box with Some si -> fault_at_staged si ss | None -> ()
+        in
+        let si =
+          Compilecore.instantiate ~on_count:sg_count ~on_assert:sg_assert ~on_table:sg_table
+            ~table_always_miss ~regs core ~runtime
+        in
+        si_box := Some si;
+        Some { sg = si; sg_core = core }
+  in
   let rx_q = Ringq.create config.Config.rx_queue_packets in
   let tx_q = Array.init config.Config.ports (fun _ -> Ringq.create config.Config.tx_queue_packets) in
   Registry.gauge metrics ~help:"packets buffered in the input queue" "rxq/depth" (fun () ->
@@ -304,6 +395,7 @@ let create (pipeline : Pipeline.t) =
   {
     pipeline;
     config;
+    staged;
     runtime;
     regs;
     counters;
@@ -391,7 +483,13 @@ let set_span_sampling t n = Span.set_sampling t.spanstore n
 
 let set_check_tap t f = t.check_tap <- f
 
-let set_taps t tp = t.taps := tp
+let set_taps t tp =
+  t.taps := tp;
+  (* the parse tap consumes [states_visited]; only track it when someone
+     is listening *)
+  match t.staged with
+  | Some d -> Compilecore.set_track_states d.sg (Option.is_some tp)
+  | None -> ()
 
 let set_port_broken t port broken =
   if port < 0 || port >= t.config.Config.ports then
@@ -463,7 +561,7 @@ let emit t ~source ~arrival ~out_time ~port bits =
   end;
   Emitted out
 
-let run_pipeline t ~source ~id ~arrival ~entry_done bits =
+let run_pipeline_tree t ~source ~id ~arrival ~entry_done bits =
   let env = t.env and ctx = t.ctx in
   let program = t.pipeline.Pipeline.program in
   Env.reset env;
@@ -543,6 +641,92 @@ let run_pipeline t ~source ~id ~arrival ~entry_done bits =
     Trace.record t.trace ~packet_id:id ~severity:Trace.Warn ~time_ns:entry_done
       ~component:stage "fault-drop";
     Lost_in_stage stage
+
+(* Same traversal, metrics, trace records and fault points as the tree
+   path, but executing the pipeline's staged core. *)
+let run_pipeline_staged t d ~source ~id ~arrival ~entry_done bits =
+  let si = d.sg in
+  Compilecore.reset si;
+  Compilecore.set_ingress_port si
+    (match source with External p -> p | Generator -> generator_port);
+  t.cur_id := id;
+  t.cur_entry := entry_done;
+  try
+    let ps = t.ss_parser in
+    Counter.incr ps.ss_seen;
+    if !(t.faults_active) then fault_drop ps;
+    Compilecore.run_parser si bits;
+    let accepted = Compilecore.parse_accepted si in
+    (match !(t.taps) with
+    | Some tp -> tp.tp_parse (Compilecore.parse_outcome si)
+    | None -> ());
+    Trace.record t.trace ~packet_id:id
+      ~time_ns:(entry_done +. ps.ss_enter_ns)
+      ~component:ps.ss_name
+      (if accepted then "accept" else "reject");
+    if !(t.cur_sampled) then begin
+      let t0 = entry_done +. ps.ss_enter_ns in
+      span_child t ~kind:ps.ss_span_kind ~name:ps.ss_name_id ~t0
+        ~t1:(t0 +. ps.ss_latency_ns) ~bytes:0
+        ~flags:(if accepted then 0 else Span.flag_drop)
+        ~note:(if accepted then t.note_accept else t.note_reject)
+    end;
+    if !(t.faults_active) then fault_corrupt_staged si ps;
+    if not accepted then begin
+      Counter.incr t.c_drop_pipeline;
+      Dropped_pipeline ("parser:" ^ Stdmeta.error_name (Compilecore.parse_error si))
+    end
+    else begin
+      Compilecore.run_ingress si;
+      if Compilecore.dropped si then begin
+        Counter.incr t.c_drop_pipeline;
+        Dropped_pipeline "ingress"
+      end
+      else begin
+        let es = t.ss_egress in
+        Counter.incr es.ss_seen;
+        Trace.record t.trace ~packet_id:id
+          ~time_ns:(entry_done +. es.ss_enter_ns)
+          ~component:es.ss_name "enter";
+        if !(t.cur_sampled) then begin
+          let t0 = entry_done +. es.ss_enter_ns in
+          span_child t ~kind:es.ss_span_kind ~name:es.ss_name_id ~t0
+            ~t1:(t0 +. es.ss_latency_ns) ~bytes:0 ~flags:0 ~note:t.note_enter
+        end;
+        if !(t.faults_active) then fault_at_staged si es;
+        Compilecore.run_egress si;
+        if Compilecore.dropped si then begin
+          Counter.incr t.c_drop_pipeline;
+          Dropped_pipeline "egress"
+        end
+        else begin
+          let ds = t.ss_deparser in
+          Counter.incr ds.ss_seen;
+          Trace.record t.trace ~packet_id:id
+            ~time_ns:(entry_done +. ds.ss_enter_ns)
+            ~component:ds.ss_name "emit";
+          if !(t.cur_sampled) then begin
+            let t0 = entry_done +. ds.ss_enter_ns in
+            span_child t ~kind:ds.ss_span_kind ~name:ds.ss_name_id ~t0
+              ~t1:(t0 +. ds.ss_latency_ns) ~bytes:0 ~flags:0 ~note:t.note_emit
+          end;
+          if !(t.faults_active) then fault_at_staged si ds;
+          let out_bits = Compilecore.deparse si in
+          let port = Compilecore.egress_port si in
+          emit t ~source ~arrival ~out_time:(entry_done +. t.latency_ns) ~port out_bits
+        end
+      end
+    end
+  with Lost stage ->
+    Counter.incr t.c_drop_fault;
+    Trace.record t.trace ~packet_id:id ~severity:Trace.Warn ~time_ns:entry_done
+      ~component:stage "fault-drop";
+    Lost_in_stage stage
+
+let run_pipeline t ~source ~id ~arrival ~entry_done bits =
+  match t.staged with
+  | Some d -> run_pipeline_staged t d ~source ~id ~arrival ~entry_done bits
+  | None -> run_pipeline_tree t ~source ~id ~arrival ~entry_done bits
 
 let inject t ~source ?at_ns bits =
   let arrival =

@@ -47,7 +47,12 @@ type status = {
 
 type t
 
-val create : Pipeline.t -> t
+val create : ?engine:P4ir.Compilecore.engine -> Pipeline.t -> t
+(** [engine] selects the executor for the pipeline traversal (default
+    {!P4ir.Compilecore.default_engine}): [`Staged] runs the pipeline's
+    compiled closure core (quirk hooks baked in, table matchers
+    specialized), [`Tree] walks the AST as before. Timing, metrics,
+    traces, spans, taps and fault injection behave identically in both. *)
 
 val pipeline : t -> Pipeline.t
 

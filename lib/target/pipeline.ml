@@ -19,10 +19,22 @@ type t = {
   update_ipv4_checksum : bool;
   stages : stage list;
   resources : Resource.t;
+  staged : P4ir.Compilecore.t Lazy.t;
 }
 
 let make ~program ~config ~parse_hooks ~exec_hooks ~update_ipv4_checksum ~stages ~resources =
-  { program; config; parse_hooks; exec_hooks; update_ipv4_checksum; stages; resources }
+  {
+    program;
+    config;
+    parse_hooks;
+    exec_hooks;
+    update_ipv4_checksum;
+    stages;
+    resources;
+    staged =
+      lazy
+        (P4ir.Compilecore.compile ~exec_hooks ~parse_hooks ~update_ipv4_checksum program);
+  }
 
 let stage_names t = List.map (fun s -> s.s_name) t.stages
 

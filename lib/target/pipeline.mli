@@ -26,6 +26,10 @@ type t = {
   update_ipv4_checksum : bool;
   stages : stage list;  (** in traversal order *)
   resources : Resource.t;  (** whole-design total, including overheads *)
+  staged : P4ir.Compilecore.t Lazy.t;
+      (** the program staged to closures under this pipeline's quirk hooks
+          — forced on first use by a staged-engine {!Device}, shared by
+          every device instantiated from this pipeline *)
 }
 
 val make :

@@ -262,9 +262,73 @@ let test_hexdump_shape () =
   check_bool "has offset" true (String.length s > 0 && String.sub s 0 4 = "0000");
   check_bool "ascii gutter" true (String.contains s '|')
 
+(* ---------------- Builder / blit_int64 ---------------- *)
+
+let mask_to_width w v =
+  if w >= 64 then v else Int64.logand v (Int64.sub (Int64.shift_left 1L w) 1L)
+
+let test_blit_int64_basic () =
+  let bytes = Bytes.make 4 '\x00' in
+  Bitstring.blit_int64 bytes ~off:4 ~width:12 0xABCL;
+  Alcotest.(check string) "unaligned blit" "\x0a\xbc\x00\x00" (Bytes.to_string bytes);
+  Bitstring.blit_int64 bytes ~off:24 ~width:8 0xFFL;
+  Alcotest.(check string) "aligned blit" "\x0a\xbc\x00\xff" (Bytes.to_string bytes)
+
+let prop_blit_int64_matches_set_int64 =
+  QCheck.Test.make ~count:300 ~name:"blit_int64 == set_int64 on byte buffers"
+    QCheck.(triple small_nat (int_range 1 64) small_nat)
+    (fun (seed, width, nextra) ->
+      let prng = Prng.create seed in
+      let nbytes = ((width + 7) / 8) + 1 + (nextra mod 8) in
+      let s = String.init nbytes (fun _ -> Char.chr (Prng.int prng 256)) in
+      let off = Prng.int prng ((nbytes * 8) - width + 1) in
+      let v = Prng.next_int64 prng in
+      let expect = Bitstring.set_int64 (Bitstring.of_string s) ~off ~width v in
+      let bytes = Bytes.of_string s in
+      Bitstring.blit_int64 bytes ~off ~width (mask_to_width width v);
+      Bitstring.equal expect (Bitstring.of_string (Bytes.to_string bytes)))
+
+(* A builder fed a random op sequence must agree with the immutable
+   of_int64/sub/concat composition of the same pieces — including when the
+   builder is reset and reused, which is how the staged deparser drives it. *)
+let prop_builder_matches_reference =
+  QCheck.Test.make ~count:200 ~name:"Builder == set_int64/concat composition"
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, seed') ->
+      let bld = Bitstring.Builder.create ~capacity_bits:8 () in
+      let round seed =
+        let prng = Prng.create seed in
+        Bitstring.Builder.reset bld;
+        let pieces = ref [] in
+        let nops = 1 + Prng.int prng 12 in
+        for _ = 1 to nops do
+          match Prng.int prng 3 with
+          | 0 ->
+              let w = 1 + Prng.int prng 64 in
+              let v = mask_to_width w (Prng.next_int64 prng) in
+              Bitstring.Builder.add_int64 bld ~width:w v;
+              pieces := Bitstring.of_int64 ~width:w v :: !pieces
+          | 1 ->
+              let bs = Bitstring.random prng (Prng.int prng 100) in
+              Bitstring.Builder.add_bits bld bs;
+              pieces := bs :: !pieces
+          | _ ->
+              let len = Prng.int prng 80 in
+              let bs = Bitstring.random prng (len + Prng.int prng 40) in
+              let off = Prng.int prng (Bitstring.length bs - len + 1) in
+              Bitstring.Builder.add_sub bld bs ~off ~len;
+              pieces := Bitstring.sub bs ~off ~len :: !pieces
+        done;
+        let expect = Bitstring.concat (List.rev !pieces) in
+        Bitstring.Builder.length bld = Bitstring.length expect
+        && Bitstring.equal (Bitstring.Builder.contents bld) expect
+      in
+      round seed && round (seed + seed' + 1))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
   [ prop_of_int64_extract; prop_append_length; prop_sub_concat_identity; prop_set_get;
-    prop_checksum_detects_single_flip ]
+    prop_checksum_detects_single_flip; prop_blit_int64_matches_set_int64;
+    prop_builder_matches_reference ]
 
 let () =
   Alcotest.run "bitutil"
@@ -293,6 +357,7 @@ let () =
           Alcotest.test_case "reader underrun" `Quick test_reader_underrun;
           Alcotest.test_case "writer growth" `Quick test_writer_growth;
           Alcotest.test_case "concat list" `Quick test_concat_list;
+          Alcotest.test_case "blit_int64" `Quick test_blit_int64_basic;
         ] );
       ( "checksum",
         [
