@@ -79,17 +79,61 @@ let b4_checker_rule =
   Test.make ~name:"B4 checker: evaluate one rule"
     (Staged.stage (fun () -> ignore (P4ir.Exec.eval ctx rule)))
 
+(* B5/B5b/B5c: first-match lookup cost as the route table scales. B5 keeps
+   its historical row name — the committed JSON baseline and the CI gate
+   compare by exact name — but now routes through [Runtime.lookup], i.e.
+   the bucketed classifier, on a BGP-like 1024-prefix table; B5s keeps the
+   legacy linear scan measurable on the same table for context. B5b/B5c
+   scale to 65k and 1M prefixes via [Test.make_with_resource] so the
+   multi-second full-feed install runs inside the benchmark, not at module
+   init. Keys are prebuilt and cycled through a preallocated ref so the
+   measured loop allocates nothing. *)
+let b5_table n =
+  let rt = Runtime.create () in
+  let prefixes = Routes.prefixes ~seed:7 ~n in
+  Array.iter
+    (fun (addr, len) ->
+      Runtime.add_exn Routes.program rt ~table:Routes.table_name (Routes.entry ~addr ~len))
+    prefixes;
+  let addrs = Routes.lookup_addrs ~seed:7 ~hit_ratio:900 prefixes ~n:4096 in
+  let keys = Array.map Routes.key_of_addr addrs in
+  (* one touch so classifier construction is not billed to the first run *)
+  ignore (Runtime.lookup rt ~table:Routes.table_name ~degrade_ternary_to_exact:false keys.(0));
+  (rt, keys, ref 0)
+
+let b5_step (rt, keys, i) =
+  let k = keys.(!i) in
+  i := (!i + 1) land (Array.length keys - 1);
+  ignore (Runtime.lookup rt ~table:Routes.table_name ~degrade_ternary_to_exact:false k)
+
 let b5_lpm_lookup =
-  let prng = Bitutil.Prng.create 42 in
-  let entries =
-    List.init 1024 (fun i ->
-        Entry.make
-          ~keys:[ Entry.lpm (Value.of_int ~width:32 (i lsl 12)) (8 + (i mod 24)) ]
-          ~action:"a" ())
-  in
+  let res = b5_table 1024 in
   Test.make ~name:"B5 lpm: select over 1024 entries"
+    (Staged.stage (fun () -> b5_step res))
+
+let b5s_lpm_scan =
+  let _, keys, i = b5_table 1024 in
+  let entries =
+    Array.to_list
+      (Array.map (fun (addr, len) -> Routes.entry ~addr ~len) (Routes.prefixes ~seed:7 ~n:1024))
+  in
+  Test.make ~name:"B5s lpm: legacy linear scan over 1024 entries"
     (Staged.stage (fun () ->
-         ignore (Entry.select entries [ Value.make ~width:32 (Bitutil.Prng.bits prng ~width:32) ])))
+         let k = keys.(!i) in
+         i := (!i + 1) land (Array.length keys - 1);
+         ignore (Entry.select entries k)))
+
+let b5b_lpm_65k =
+  Test.make_with_resource ~name:"B5b lpm: 65,536-prefix table, one lookup" Test.uniq
+    ~allocate:(fun () -> b5_table 65_536)
+    ~free:(fun _ -> ())
+    (Staged.stage b5_step)
+
+let b5c_lpm_1m =
+  Test.make_with_resource ~name:"B5c lpm: 1,048,576-prefix table, one lookup" Test.uniq
+    ~allocate:(fun () -> b5_table 1_048_576)
+    ~free:(fun _ -> ())
+    (Staged.stage b5_step)
 
 let b6_symexec =
   let rt = Runtime.create () in
@@ -254,12 +298,23 @@ let b13_rows () =
 let tests =
   Test.make_grouped ~name:"netdebug"
     [
-      b1_device_forward; b2_interp_forward; b3_generator; b4_checker_rule; b5_lpm_lookup;
+      b1_device_forward; b2_interp_forward; b3_generator; b4_checker_rule;
       b6_symexec; b7_compile; b8_checksum; b9_kv_get; b10_wire_roundtrip;
       b11_device_forward_spans; b11b_device_forward_spans_sampled;
       b1c_device_forward_coverage; b2c_interp_forward_coverage; b12_fuzz_oracle;
       b14_device_forward_staged; b14c_device_forward_staged_coverage;
     ]
+
+(* The match-structure rows are grouped apart because they need a different
+   measurement config: they pin 100MB+ of route table in the major heap,
+   and bechamel's GC stabilization compacts the heap between samples, so
+   every sample restarts cache- and TLB-cold and the cold-start cost lands
+   in the per-run OLS slope — an 8 µs phantom on a ~400 ns lookup. These
+   rows allocate nothing per operation (the absolute gate enforces it), so
+   stabilization buys them nothing: they are measured unstabilized. *)
+let match_tests =
+  Test.make_grouped ~name:"netdebug"
+    [ b5_lpm_lookup; b5s_lpm_scan; b5b_lpm_65k; b5c_lpm_1m ]
 
 (* per-operation estimate of one measure for one test, if the OLS converged *)
 let estimate merged label name =
@@ -339,6 +394,21 @@ let speedup_pairs =
       "B14c/B2" );
   ]
 
+(* Absolute floors for the match structures (ISSUE: production-scale
+   tables). B5's 4283 ns ceiling is 0.25x the last committed linear-scan
+   baseline (17133 ns in BENCH_micro.json) — the classifier must be at
+   least 4x faster on the same 1024-prefix workload. B5c pins the
+   full-feed promise: under a million installed prefixes a lookup stays
+   below a microsecond and allocates nothing on the hot path. *)
+let absolute_gates =
+  [
+    ("netdebug/B5 lpm: select over 1024 entries", 4283.0, None, "B5 <= 0.25x scan baseline");
+    ( "netdebug/B5c lpm: 1,048,576-prefix table, one lookup",
+      1000.0,
+      Some 0.5,
+      "B5c 1M-prefix lookup" );
+  ]
+
 (* Evaluate every gate pair; returns false on any violation. [quiet]
    suppresses the per-pair report (used for the provisional first pass —
    see [run]: a tripped gate triggers one re-measurement and a second
@@ -388,16 +458,45 @@ let check_overhead_gate ?(max_ratio = 1.10) ?(quiet = false) rows =
               fast slow;
           failed := true)
     speedup_pairs;
+  List.iter
+    (fun (name, ns_limit, words_limit, label) ->
+      match find name with
+      | Some (_, Some ns, words) ->
+          if not quiet then
+            Format.printf "absolute gate: %s = %.1f ns (limit %.0f)@." label ns ns_limit;
+          if ns > ns_limit then begin
+            if not quiet then
+              Format.eprintf "FAIL: %s costs %.1f ns (limit %.0f ns)@." label ns ns_limit;
+            failed := true
+          end;
+          (match (words_limit, words) with
+          | Some wl, Some w ->
+              if not quiet then
+                Format.printf "absolute gate: %s = %.2f minor words/op (limit %.2f)@." label w
+                  wl;
+              if w > wl then begin
+                if not quiet then
+                  Format.eprintf "FAIL: %s allocates %.2f minor words/op (limit %.2f)@." label
+                    w wl;
+                failed := true
+              end
+          | Some _, None ->
+              if not quiet then
+                Format.eprintf "FAIL: absolute gate %s needs a minor-words estimate@." label;
+              failed := true
+          | None, _ -> ())
+      | _ ->
+          if not quiet then
+            Format.eprintf "FAIL: absolute gate needs a %s estimate in the results@." name;
+          failed := true)
+    absolute_gates;
   not !failed
 
-let measure_once () =
+let measure_group cfg tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
-  in
   let raw = Benchmark.all cfg instances tests in
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances
@@ -414,6 +513,13 @@ let measure_once () =
         estimate merged (Measure.label Instance.monotonic_clock) name,
         estimate merged (Measure.label Instance.minor_allocated) name ))
     names
+
+let measure_once () =
+  let stab = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let nostab = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  List.sort
+    (fun (a, _, _) (b, _, _) -> String.compare a b)
+    (measure_group stab tests @ measure_group nostab match_tests)
 
 let opt_min a b =
   match (a, b) with

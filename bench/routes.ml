@@ -1,0 +1,112 @@
+(* Synthetic full-BGP-feed route tables: a deterministic, BGP-like prefix
+   length distribution at up to ~1M prefixes, shared by the microbenches
+   (B5/B5b/B5c), the churn experiment and the classifier tests. All
+   randomness flows through Bitutil.Prng, so every consumer reproduces the
+   exact same table from a seed. *)
+
+module Ast = P4ir.Ast
+module Dsl = P4ir.Dsl
+module Entry = P4ir.Entry
+module Value = P4ir.Value
+module Programs = P4ir.Programs
+module Prng = Bitutil.Prng
+
+let table_name = "ipv4_lpm"
+
+let table_size = 2_097_152
+
+(* basic_router with a full-feed-sized LPM table: same parser, actions and
+   ingress, so every existing harness (device, checker, oracle) runs it
+   unchanged. *)
+let program =
+  let base = Programs.basic_router.Programs.program in
+  {
+    base with
+    Ast.p_name = "bgp_router";
+    p_tables =
+      [
+        Dsl.table ~size:table_size table_name
+          [ (Dsl.fld "ipv4" "dst", Ast.Lpm) ]
+          [ "set_nexthop"; "drop_packet" ]
+          ~default:"drop_packet" ();
+      ];
+  }
+
+let bundle =
+  {
+    Programs.program;
+    entries = [];
+    description = "IPv4 LPM router with a full-BGP-feed-sized route table";
+  }
+
+(* Prefix-length mix modelled on public BGP feed histograms: /24 dominates,
+   /16../23 carry most of the rest, a thin head of short prefixes and a
+   thin tail of host routes. Weights are per mille. *)
+let length_weights =
+  [|
+    (8, 5); (10, 5); (12, 10); (14, 15); (16, 60); (17, 30); (18, 45);
+    (19, 60); (20, 70); (21, 65); (22, 120); (23, 90); (24, 390);
+    (26, 5); (28, 5); (30, 5); (32, 20);
+  |]
+
+let total_weight = Array.fold_left (fun a (_, w) -> a + w) 0 length_weights
+
+let draw_length g =
+  let r = Prng.int g total_weight in
+  let rec go i acc =
+    let len, w = length_weights.(i) in
+    if r < acc + w then len else go (i + 1) (acc + w)
+  in
+  go 0 0
+
+let mask_int len = if len = 0 then 0 else ((1 lsl len) - 1) lsl (32 - len)
+
+(* [n] distinct (addr, len) pairs; addr is the 32-bit prefix, host bits
+   zero. Collisions redraw both coordinates, so saturating a short length
+   never loops. *)
+let prefixes ~seed ~n =
+  let g = Prng.create seed in
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n (0, 0) in
+  let filled = ref 0 in
+  while !filled < n do
+    let len = draw_length g in
+    let addr = Int64.to_int (Prng.bits g ~width:32) land mask_int len in
+    if not (Hashtbl.mem seen (addr, len)) then begin
+      Hashtbl.replace seen (addr, len) ();
+      out.(!filled) <- (addr, len);
+      incr filled
+    end
+  done;
+  out
+
+(* Forwarding data derived from the prefix, so a packet's egress port and
+   rewritten MAC identify which route won — that is what the churn
+   scenario's ground-truth comparison checks. *)
+let entry ~addr ~len =
+  Entry.make
+    ~keys:[ Entry.lpm (Value.make ~width:32 (Int64.of_int addr)) len ]
+    ~action:"set_nexthop"
+    ~args:
+      [
+        Value.of_int ~width:9 (1 + ((addr lxor len) land 0xff));
+        Value.make ~width:48 (Int64.of_int ((addr lsl 8) lor len));
+      ]
+    ()
+
+let entries ~seed ~n =
+  Array.to_list (Array.map (fun (addr, len) -> (table_name, entry ~addr ~len)) (prefixes ~seed ~n))
+
+(* Lookup destinations: [hit_ratio] per mille land inside an installed
+   prefix (random host bits below its length), the rest are uniform — a
+   realistic mix of covered and default-route traffic. *)
+let lookup_addrs ~seed ~hit_ratio (prefixes : (int * int) array) ~n =
+  let g = Prng.create (seed lxor 0x5eed) in
+  Array.init n (fun _ ->
+      if Array.length prefixes > 0 && Prng.int g 1000 < hit_ratio then begin
+        let addr, len = prefixes.(Prng.int g (Array.length prefixes)) in
+        addr lor (Int64.to_int (Prng.bits g ~width:32) land lnot (mask_int len) land 0xffffffff)
+      end
+      else Int64.to_int (Prng.bits g ~width:32))
+
+let key_of_addr addr = [ Value.make ~width:32 (Int64.of_int addr) ]

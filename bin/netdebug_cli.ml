@@ -240,7 +240,10 @@ let validate_cmd =
     let b = or_die (find_bundle name) in
     let quirks = Common_args.effective_quirks quirks faithful in
     Format.printf "toolchain quirks: %a@." Quirks.pp quirks;
-    let h = Harness.deploy ~quirks b in
+    (* a real clock, so table/<name>/update_ns telemetry carries actual
+       control-plane update latencies in the exported artifacts *)
+    let update_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+    let h = Harness.deploy ~quirks ~update_clock b in
     (match Harness.self_check h with
     | Ok facts -> List.iter (fun f -> Format.printf "[ok] %s@." f) facts
     | Error e -> or_die (Error e));

@@ -15,9 +15,9 @@ type t = {
 let generator_port = 510
 
 let deploy ?(quirks = Sdnet.Quirks.default) ?config ?(install_entries = true) ?span_sampling
-    bundle =
+    ?update_clock bundle =
   let compile_report = Sdnet.Compile.compile_exn ~quirks ?config bundle.Programs.program in
-  let device = Device.create compile_report.Sdnet.Compile.pipeline in
+  let device = Device.create ?update_clock compile_report.Sdnet.Compile.pipeline in
   (match span_sampling with Some n -> Device.set_span_sampling device n | None -> ());
   if install_entries then begin
     match

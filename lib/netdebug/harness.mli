@@ -17,12 +17,15 @@ val deploy :
   ?config:Target.Config.t ->
   ?install_entries:bool ->
   ?span_sampling:int ->
+  ?update_clock:(unit -> int64) ->
   P4ir.Programs.bundle ->
   t
 (** [quirks] defaults to {!Sdnet.Quirks.default} — the shipped toolchain,
     reject bug included. [install_entries] defaults to true.
     [span_sampling] overrides the device's default 1-in-64 packet span
     sampling (1 = every packet, 0 = off; metrics stay on regardless).
+    [update_clock] feeds the device's per-table [update_ns] telemetry
+    (see {!Target.Device.create}).
     @raise Invalid_argument when compilation fails. *)
 
 val replicate : t -> t

@@ -147,7 +147,13 @@ and matcher =
     }
   | M_fallback of (Entry.t * bound) list  (* exact [Entry.select] replica *)
 
-and tstate = { mutable ts_gen : int; mutable ts_m : matcher }
+and tstate = {
+  mutable ts_gen : int;
+  mutable ts_m : matcher;  (* legacy matchers (NETDEBUG_CLASSIFIER=scan) *)
+  mutable ts_slot : Runtime.tslot option;  (* pinned on first apply *)
+  mutable ts_cls : Classifier.t option;  (* shared incremental classifier *)
+  mutable ts_bounds : bound array;  (* action closures, dense by entry id *)
+}
 
 and cstate = {
   cs_id : int;  (* state-name id, for visited tracking *)
@@ -217,6 +223,10 @@ and inst = {
 }
 
 let empty_args : int64 array = [||]
+
+(* Placeholder in the per-id bound cache: ids the classifier has not yet
+   returned. Compared physically, never executed. *)
+let null_bound = { b_name = ""; b_exec = (fun _ -> invalid_arg "Compilecore: null bound") }
 
 let run_ops (ops : (inst -> unit) array) st =
   for i = 0 to Array.length ops - 1 do
@@ -495,10 +505,10 @@ let entry_may_raise kws nk (e : Entry.t) =
   in
   go 0 e.Entry.keys
 
-let compile_table action_ids cactions ~degrade (kws : int array) name =
+let compile_table action_ids cactions ~degrade (kws : int array) =
   let nk = Array.length kws in
-  fun (st : inst) (ts : tstate) (gen : int) ->
-    let entries = Runtime.entries st.i_runtime name in
+  fun (ts : tstate) (slot : Runtime.tslot) (gen : int) ->
+    let entries = Runtime.tslot_entries slot in
     ts.ts_gen <- gen;
     if entries = [] then ts.ts_m <- M_empty
     else if List.exists (entry_may_raise kws nk) entries then
@@ -661,24 +671,87 @@ and compile_stmt cc prog action_ids cactions degrade tbl_ids params (s : Ast.stm
           in
           let kws = Array.map (fun c -> c.cw) keys in
           let nk = Array.length keys in
-          let rebuild = compile_table action_ids cactions ~degrade kws tname in
+          let rebuild = compile_table action_ids cactions ~degrade kws in
           let default_b =
             make_bound action_ids cactions tbl.Ast.t_default_action tbl.Ast.t_default_args
           in
           let dname = tbl.Ast.t_default_action in
+          (* resolved once per process: flipping the classifier off is a
+             process-level experiment control, not a runtime toggle *)
+          let use_cls = Classifier.enabled () in
+          (* grow-on-demand per-id cache of compiled action closures; ids
+             are never reused, so entries here can never go stale *)
+          let bound_for ts slot id =
+            let bs =
+              if id < Array.length ts.ts_bounds then ts.ts_bounds
+              else begin
+                let nbs = Array.make (max 16 (2 * (id + 1))) null_bound in
+                Array.blit ts.ts_bounds 0 nbs 0 (Array.length ts.ts_bounds);
+                ts.ts_bounds <- nbs;
+                nbs
+              end
+            in
+            let b = Array.unsafe_get bs id in
+            if b != null_bound then b
+            else begin
+              let e = Runtime.tslot_entry slot id in
+              let b = make_bound action_ids cactions e.Entry.action e.Entry.args in
+              bs.(id) <- b;
+              b
+            end
+          in
           fun st ->
             for i = 0 to nk - 1 do
               st.kscratch.(i) <- (Array.unsafe_get keys i).ce st
             done;
             let ts = Array.unsafe_get st.tstates tid in
-            let g = Runtime.generation st.i_runtime in
-            if ts.ts_gen <> g then rebuild st ts g;
-            if st.always_miss tname then begin
-              st.on_table tid false dname;
-              default_b.b_exec st
+            let slot =
+              match ts.ts_slot with
+              | Some s -> s
+              | None ->
+                  let s = Runtime.tslot st.i_runtime tname in
+                  ts.ts_slot <- Some s;
+                  s
+            in
+            if use_cls then begin
+              (* incremental mode: the classifier is patched in place by
+                 the control plane, so there is nothing to invalidate *)
+              let cls =
+                match ts.ts_cls with
+                | Some c -> c
+                | None ->
+                    let c = Runtime.tslot_classifier slot ~kws ~degrade in
+                    ts.ts_cls <- Some c;
+                    c
+              in
+              if st.always_miss tname then begin
+                st.on_table tid false dname;
+                default_b.b_exec st
+              end
+              else begin
+                let id = Classifier.find_raw cls st.kscratch in
+                if id >= 0 then begin
+                  let b = bound_for ts slot id in
+                  st.on_table tid true b.b_name;
+                  b.b_exec st
+                end
+                else begin
+                  st.on_table tid false dname;
+                  default_b.b_exec st
+                end
+              end
             end
             else begin
-              match ts.ts_m with
+              (* scan mode: legacy matchers, invalidated per table — churn
+                 on another table no longer forces a rebuild here *)
+              let g = Runtime.tslot_gen slot in
+              if ts.ts_gen <> g then rebuild ts slot g;
+              if st.always_miss tname then begin
+                st.on_table tid false dname;
+                default_b.b_exec st
+              end
+              else begin
+                match ts.ts_m with
               | M_empty ->
                   st.on_table tid false dname;
                   default_b.b_exec st
@@ -731,6 +804,7 @@ and compile_stmt cc prog action_ids cactions degrade tbl_ids params (s : Ast.stm
                   | None ->
                       st.on_table tid false dname;
                       default_b.b_exec st)
+              end
             end)
 
 and reg_id (prog : Ast.program) name =
@@ -1023,7 +1097,9 @@ let instantiate ?(on_count = fun _ -> ()) ?(on_assert = fun _ _ -> ())
     visited = Array.make cp.max_visits 0;
     nvisited = 0;
     kscratch = Array.make cp.scratch_keys 0L;
-    tstates = Array.init cp.n_tables (fun _ -> { ts_gen = -1; ts_m = M_empty });
+    tstates =
+      Array.init cp.n_tables (fun _ ->
+          { ts_gen = -1; ts_m = M_empty; ts_slot = None; ts_cls = None; ts_bounds = [||] });
     i_runtime = rt;
     regs = resolve_regs cp regstore;
     ck_scratch = Builder.create ~capacity_bits:256 ();

@@ -3,19 +3,22 @@
     [compile] runs once per (program, hooks) configuration and lowers the
     whole IR — slot-interned headers/metadata with precomputed bit offsets
     and masks, the parser FSM as a dispatch table over state indices,
-    match-action tables as specialized matchers (single exact key -> hash
-    table; the general case -> a presorted first-match scan equivalent to
-    {!Entry.select}; pathological entries -> a byte-for-byte
-    [Entry.select] replica), actions as closure chains over a positional
-    argument vector, and the deparser as an emit loop into a reused
+    match-action tables onto the runtime's incremental {!Classifier}
+    structures (patched in place by control-plane updates, so a churn
+    storm never re-lowers a table) with a per-entry-id cache of compiled
+    action closures, actions as closure chains over a positional argument
+    vector, and the deparser as an emit loop into a reused
     {!Bitutil.Bitstring.Builder}.
 
     [instantiate] then binds the compiled form to a control plane
     ({!Runtime.t}), register storage and observation callbacks, yielding a
     mutable per-executor instance that processes packets with no
-    steady-state allocation. Matchers rebuild lazily when
-    {!Runtime.generation} moves, so table updates cost nothing until the
-    next lookup.
+    steady-state allocation. Under [NETDEBUG_CLASSIFIER=scan] tables fall
+    back to the legacy specialized matchers (single exact key -> hash
+    table; the general case -> a presorted first-match scan equivalent to
+    {!Entry.select}; pathological entries -> a byte-for-byte
+    [Entry.select] replica), rebuilt lazily when the table's own
+    {!Runtime.tslot_gen} moves — never on churn to other tables.
 
     The staged engine is observationally equivalent to the tree-walking
     interpreter ({!Parse}/{!Exec}/{!Deparse}) under the same hooks:

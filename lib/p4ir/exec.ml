@@ -124,11 +124,12 @@ and apply_table ctx name =
   | None -> invalid_arg (Printf.sprintf "Exec: undeclared table %s" name)
   | Some tbl ->
       let keys = List.map (fun (e, _) -> eval ctx e) tbl.t_keys in
-      let entries =
-        if ctx.hooks.table_always_miss name then [] else Runtime.entries ctx.runtime name
-      in
       let degrade_ternary_to_exact = ctx.hooks.degrade_ternary_to_exact in
-      (match Entry.select ~degrade_ternary_to_exact entries keys with
+      let hit =
+        if ctx.hooks.table_always_miss name then None
+        else Runtime.lookup ctx.runtime ~table:name ~degrade_ternary_to_exact keys
+      in
+      (match hit with
       | Some e ->
           ctx.on_table ~table:name ~hit:true ~action:e.Entry.action;
           run_action ctx e.Entry.action e.Entry.args

@@ -4,7 +4,12 @@
     permitted, key arity and widths, argument arity and widths, capacity),
     mirroring what a runtime API such as P4Runtime enforces. The same
     runtime state drives both the reference interpreter and the compiled
-    device, modelling the shared control plane of Figure 1. *)
+    device, modelling the shared control plane of Figure 1.
+
+    Entries get monotone per-table ids in install order (never reused, not
+    even across {!clear}), which is what lets the per-table {!Classifier}
+    structures and the staged engine's caches update incrementally instead
+    of rebuilding on every mutation. *)
 
 type t
 
@@ -17,6 +22,16 @@ val add : Ast.program -> t -> table:string -> Entry.t -> (unit, string) result
 val add_exn : Ast.program -> t -> table:string -> Entry.t -> unit
 (** @raise Invalid_argument when {!add} would return [Error]. *)
 
+val remove : Ast.program -> t -> table:string -> Entry.t -> (unit, string) result
+(** Remove the earliest-installed live entry whose (priority, keys) equal
+    [e]'s — the P4Runtime deletion key; action and arguments are ignored.
+    O(1) expected: the structural index and the classifier are patched in
+    place, no table rebuild. [Error] when the table is undeclared or no
+    entry matches. *)
+
+val remove_exn : Ast.program -> t -> table:string -> Entry.t -> unit
+(** @raise Invalid_argument when {!remove} would return [Error]. *)
+
 val install_all : Ast.program -> t -> (string * Entry.t) list -> (unit, string) result
 (** Install a batch of (table, entry) pairs, stopping at the first error. *)
 
@@ -24,6 +39,16 @@ val entries : t -> string -> Entry.t list
 (** In install order; empty for unknown tables. *)
 
 val entry_count : t -> string -> int
+(** O(1). *)
+
+val lookup :
+  t -> table:string -> degrade_ternary_to_exact:bool -> Value.t list -> Entry.t option
+(** The winning entry for this key list under the
+    (priority, specificity, install-order) tie-break — {!Entry.select}
+    semantics, answered by the per-table {!Classifier} (built lazily from
+    the first lookup's key widths and patched incrementally ever after).
+    With [NETDEBUG_CLASSIFIER=scan] it runs the legacy linear scan
+    instead; both engines route their table applies through here. *)
 
 val clear_table : t -> string -> unit
 
@@ -32,7 +57,46 @@ val clear : t -> unit
 val tables : t -> string list
 
 val generation : t -> int
-(** Monotone mutation counter: bumped by every successful {!add},
-    {!clear_table} and {!clear}. The staged engine ({!Compilecore})
-    compares it against the generation its per-table matchers were built
-    from, making matcher invalidation O(1) per packet. *)
+(** Monotone global mutation counter: bumped by every successful {!add},
+    {!remove}, {!clear_table} and {!clear}. Kept for observers that need
+    "did anything change"; the staged engine now invalidates on the
+    per-table {!tslot_gen} instead, so churn on one table no longer
+    touches another table's compiled matcher. *)
+
+val set_update_hook :
+  t -> ?clock:(unit -> int64) -> (string -> int -> unit) -> unit
+(** [set_update_hook t ~clock f] arranges [f table ns] after every
+    successful mutation of [table], where [ns] is the mutation's duration
+    measured with [clock] (a nanosecond timestamp source; defaults to a
+    constant clock, so durations read 0 and stay deterministic). Feeds the
+    [table/<name>/update_ns] telemetry histogram. *)
+
+(** {2 Engine-facing slot handles}
+
+    A [tslot] pins one table's state so per-packet paths can poll its
+    generation and fetch entries by id without re-hashing the table name.
+    Handles stay valid forever: {!clear} empties slots in place rather
+    than dropping them, and ids are never reallocated. *)
+
+type tslot
+
+val tslot : t -> string -> tslot
+(** Find-or-create the slot for [name]. *)
+
+val tslot_gen : tslot -> int
+(** Per-table mutation counter (O(1) per-packet poll). *)
+
+val tslot_entries : tslot -> Entry.t list
+(** Live entries in install order. *)
+
+val tslot_entry : tslot -> int -> Entry.t
+(** The live entry with this local id.
+    @raise Invalid_argument when the id is dead or out of range. *)
+
+val tslot_classifier : tslot -> kws:int array -> degrade:bool -> Classifier.t
+(** The slot's classifier for this quirk setting, built from [kws] on
+    first use and patched incrementally by every later mutation. *)
+
+val classifier_rebuilds : t -> int
+(** Total structural re-derivations across all per-table classifiers (see
+    {!Classifier.rebuilds}); flat under pure insert/remove churn. *)

@@ -184,7 +184,7 @@ let fault_at_staged si ss =
   fault_drop ss;
   fault_corrupt_staged si ss
 
-let create ?engine (pipeline : Pipeline.t) =
+let create ?engine ?update_clock (pipeline : Pipeline.t) =
   let config = pipeline.Pipeline.config in
   let program = pipeline.Pipeline.program in
   let cycle_ns = Config.cycle_ns config in
@@ -257,6 +257,28 @@ let create ?engine (pipeline : Pipeline.t) =
         ("stage/" ^ ss.ss_name ^ "/latency_ns")
         (fun () -> lat))
     stages;
+  (* table-scale telemetry: live entry counts plus control-plane update
+     latency per table. Update durations come from [update_clock]; without
+     one they read 0, keeping deterministic runs deterministic while still
+     counting every update. *)
+  let table_update_h = Hashtbl.create 8 in
+  List.iter
+    (fun (tbl : Ast.table) ->
+      let name = tbl.Ast.t_name in
+      if not (Hashtbl.mem table_update_h name) then begin
+        Registry.gauge metrics ~help:"entries currently installed in this table"
+          ("table/" ^ name ^ "/entries")
+          (fun () -> float_of_int (Runtime.entry_count runtime name));
+        Hashtbl.replace table_update_h name
+          (Registry.histogram metrics
+             ~help:"control-plane update latency for this table (add/remove/clear)"
+             ("table/" ^ name ^ "/update_ns"))
+      end)
+    program.Ast.p_tables;
+  Runtime.set_update_hook runtime ?clock:update_clock (fun name ns ->
+      match Hashtbl.find_opt table_update_h name with
+      | Some h -> Histogram.add h (float_of_int ns)
+      | None -> ());
   let taps = ref None in
   let faults_active = ref false in
   let cur_id = ref 0 in

@@ -47,12 +47,19 @@ type status = {
 
 type t
 
-val create : ?engine:P4ir.Compilecore.engine -> Pipeline.t -> t
+val create : ?engine:P4ir.Compilecore.engine -> ?update_clock:(unit -> int64) -> Pipeline.t -> t
 (** [engine] selects the executor for the pipeline traversal (default
     {!P4ir.Compilecore.default_engine}): [`Staged] runs the pipeline's
     compiled closure core (quirk hooks baked in, table matchers
     specialized), [`Tree] walks the AST as before. Timing, metrics,
-    traces, spans, taps and fault injection behave identically in both. *)
+    traces, spans, taps and fault injection behave identically in both.
+
+    Every table exports a [table/<name>/entries] gauge and a
+    [table/<name>/update_ns] histogram of control-plane update latency.
+    [update_clock] supplies the nanosecond timestamps for the latter
+    (e.g. a monotonic wall clock); without it updates are still counted
+    but their durations read 0, so fully deterministic runs stay
+    deterministic. *)
 
 val pipeline : t -> Pipeline.t
 

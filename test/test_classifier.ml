@@ -1,0 +1,323 @@
+(* Differential property tests for the classifier: it must be
+   observationally identical to the legacy [Entry.select] scan — same
+   winner, same misses, same raise behaviour on pathological LPM entries —
+   over arbitrary entry sets and keys, under both settings of the
+   degrade-ternary quirk; and incremental insert/remove must agree with a
+   classifier rebuilt from scratch over the surviving entries. *)
+
+module Value = P4ir.Value
+module Entry = P4ir.Entry
+module Classifier = P4ir.Classifier
+module Runtime = P4ir.Runtime
+
+(* ---------------- scenario generator ---------------- *)
+
+type scenario = {
+  kws : int array;
+  entries : Entry.t array;  (* initial install, ids = indices *)
+  extra : Entry.t array;  (* fed in by incremental-op inserts *)
+  probes : Value.t list list;
+  ops : int list;  (* even = insert next extra, odd = remove a live entry *)
+  degrade : bool;
+}
+
+let gen_scenario =
+  let open QCheck.Gen in
+  let* nk = int_range 1 3 in
+  let* kws =
+    (* Mostly native-int widths; the occasional 64 exercises the permanent
+       wide-key fallback. *)
+    array_repeat nk
+      (frequency [ (10, int_range 1 32); (3, int_range 33 62); (1, return 64) ])
+  in
+  let gen_value w = map (fun v -> Value.make ~width:w v) ui64 in
+  (* Value width usually matches the declared key width; mismatches create
+     entries the declared keys can never match (dead-tracked) and probes
+     that flip the structure to its legacy replica. *)
+  let gen_width kw = frequency [ (8, return kw); (1, int_range 1 64) ] in
+  let gen_mkey kw =
+    let* vw = gen_width kw in
+    let* v = gen_value vw in
+    frequency
+      [
+        (3, return (Entry.exact v));
+        ( 3,
+          (* len can exceed the key width: a poison entry whose evaluation
+             raises in [Value.matches_prefix], which the classifier must
+             replicate. *)
+          let* len = frequency [ (6, int_range 0 vw); (1, int_range 0 70) ] in
+          return (Entry.lpm v len) );
+        ( 3,
+          let* m = gen_value vw in
+          return (Entry.ternary v m) );
+      ]
+  in
+  let gen_entry =
+    let* arity =
+      frequency [ (12, return nk); (1, int_range 0 (nk + 1)) ]
+    in
+    let* keys =
+      flatten_l
+        (List.init arity (fun i -> gen_mkey (if i < nk then kws.(i) else 8)))
+    in
+    let* prio = int_bound 3 in
+    return (Entry.make ~priority:prio ~keys ~action:"a" ())
+  in
+  let gen_probe =
+    let* arity = frequency [ (20, return nk); (1, int_range 0 (nk + 1)) ] in
+    flatten_l
+      (List.init arity (fun i ->
+           let kw = if i < nk then kws.(i) else 8 in
+           let* vw = frequency [ (12, return kw); (1, int_range 1 64) ] in
+           gen_value vw))
+  in
+  let* n_entries = int_bound 30 in
+  let* entries = array_repeat n_entries gen_entry in
+  let* n_extra = int_bound 15 in
+  let* extra = array_repeat n_extra gen_entry in
+  let* probes = list_size (int_range 1 25) gen_probe in
+  let* ops = list_size (int_bound 40) (int_bound 10_000) in
+  let* degrade = bool in
+  return { kws; entries; extra; probes; ops; degrade }
+
+let print_scenario sc =
+  let b = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer b in
+  Format.fprintf fmt "kws=[%s] degrade=%b@\n"
+    (String.concat ";" (Array.to_list (Array.map string_of_int sc.kws)))
+    sc.degrade;
+  Array.iteri (fun i e -> Format.fprintf fmt "  e%d: %a@\n" i Entry.pp e) sc.entries;
+  Array.iteri
+    (fun i e -> Format.fprintf fmt "  x%d: %a@\n" i Entry.pp e)
+    sc.extra;
+  List.iteri
+    (fun i p ->
+      Format.fprintf fmt "  probe%d: [%a]@\n" i
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+           Value.pp)
+        p)
+    sc.probes;
+  Format.fprintf fmt "  ops=[%s]@."
+    (String.concat ";" (List.map string_of_int sc.ops));
+  Buffer.contents b
+
+let arb_scenario = QCheck.make ~print:print_scenario gen_scenario
+
+(* Capture normal results and the raise behaviour of pathological LPM
+   entries uniformly, so equivalence includes "raises exactly when the
+   scan raises". *)
+type 'a outcome = V of 'a | Raised
+
+let outcome f = match f () with v -> V v | exception Invalid_argument _ -> Raised
+
+let select_outcome ~degrade entries probe =
+  outcome (fun () -> Entry.select ~degrade_ternary_to_exact:degrade entries probe)
+
+(* The winner must be the same physical entry: [Entry.select] returns the
+   element of the list, the classifier an id indexing the same array. *)
+let agree resolve want got =
+  match (want, got) with
+  | V None, V id -> id = -1
+  | V (Some e), V id -> id >= 0 && resolve id == e
+  | Raised, Raised -> true
+  | V _, Raised | Raised, V _ -> false
+
+let prop_differential =
+  QCheck.Test.make ~count:400 ~name:"classifier = Entry.select (outcome parity)"
+    arb_scenario (fun sc ->
+      let c =
+        Classifier.create ~kws:sc.kws ~degrade:sc.degrade ~resolve:(fun id ->
+            sc.entries.(id))
+      in
+      Array.iteri (fun id e -> Classifier.insert c id e) sc.entries;
+      let entries = Array.to_list sc.entries in
+      List.for_all
+        (fun probe ->
+          agree
+            (fun id -> sc.entries.(id))
+            (select_outcome ~degrade:sc.degrade entries probe)
+            (outcome (fun () -> Classifier.find_values c probe)))
+        sc.probes)
+
+(* Incremental maintenance: after an arbitrary interleaving of inserts and
+   removes, the patched-in-place classifier must answer like (a) the scan
+   over the surviving entries and (b) a classifier rebuilt from scratch
+   over the same survivors with the same ids. *)
+let prop_incremental =
+  QCheck.Test.make ~count:300 ~name:"incremental insert/remove = rebuild"
+    arb_scenario (fun sc ->
+      let store = Hashtbl.create 64 in
+      let resolve id = Hashtbl.find store id in
+      let c = Classifier.create ~kws:sc.kws ~degrade:sc.degrade ~resolve in
+      let live = ref [] in  (* (id, entry), descending id *)
+      let next = ref 0 in
+      let insert e =
+        let id = !next in
+        incr next;
+        Hashtbl.replace store id e;
+        Classifier.insert c id e;
+        live := (id, e) :: !live
+      in
+      Array.iter insert sc.entries;
+      let n_extra = ref 0 in
+      List.iter
+        (fun code ->
+          if (code land 1 = 0 || !live = []) && !n_extra < Array.length sc.extra
+          then begin
+            insert sc.extra.(!n_extra);
+            incr n_extra
+          end
+          else if !live <> [] then begin
+            let id, e = List.nth !live (code lsr 1 mod List.length !live) in
+            Classifier.remove c id e;
+            Hashtbl.remove store id;
+            live := List.filter (fun (i, _) -> i <> id) !live
+          end)
+        sc.ops;
+      (* Survivors in install order = ascending id. *)
+      let surv = List.rev !live in
+      let c2 = Classifier.create ~kws:sc.kws ~degrade:sc.degrade ~resolve in
+      List.iter (fun (id, e) -> Classifier.insert c2 id e) surv;
+      let entries = List.map snd surv in
+      Classifier.size c = Classifier.size c2
+      && List.for_all
+           (fun probe ->
+             let want = select_outcome ~degrade:sc.degrade entries probe in
+             let got = outcome (fun () -> Classifier.find_values c probe) in
+             let got2 = outcome (fun () -> Classifier.find_values c2 probe) in
+             agree resolve want got && got = got2)
+           sc.probes)
+
+(* ---------------- deterministic unit tests ---------------- *)
+
+let v32 x = Value.make ~width:32 (Int64.of_int x)
+
+let test_wide_keys () =
+  (* Widths beyond native int: permanent legacy-replica fallback, still
+     answer-correct. *)
+  let entries =
+    [|
+      Entry.make
+        ~keys:[ Entry.lpm (Value.make ~width:64 0xdead_0000_0000_0000L) 16 ]
+        ~action:"a" ();
+      Entry.make
+        ~keys:[ Entry.exact (Value.make ~width:64 0xdead_beef_0000_0001L) ]
+        ~action:"a" ();
+    |]
+  in
+  let c =
+    Classifier.create ~kws:[| 64 |] ~degrade:false ~resolve:(fun id ->
+        entries.(id))
+  in
+  Array.iteri (fun id e -> Classifier.insert c id e) entries;
+  Alcotest.(check bool) "wide keys fall back" true (Classifier.is_fallback c);
+  let probe = [ Value.make ~width:64 0xdead_beef_0000_0001L ] in
+  Alcotest.(check int) "exact beats shorter prefix" 1
+    (Classifier.find_values c probe);
+  Alcotest.(check int) "prefix-only hit" 0
+    (Classifier.find_values c [ Value.make ~width:64 0xdead_0000_1234_5678L ])
+
+let test_width_mismatch_flip () =
+  (* A probe whose width differs from the declared kws flips the structure
+     to the replica — a rebuild event, never a wrong answer. *)
+  let entries = [| Entry.make ~keys:[ Entry.lpm (v32 0x0a000000) 8 ] ~action:"a" () |] in
+  let c =
+    Classifier.create ~kws:[| 32 |] ~degrade:false ~resolve:(fun id ->
+        entries.(id))
+  in
+  Classifier.insert c 0 entries.(0);
+  Alcotest.(check bool) "fast path initially" false (Classifier.is_fallback c);
+  Alcotest.(check int) "fast-path hit" 0 (Classifier.find_values c [ v32 0x0a01_0203 ]);
+  let narrow = [ Value.make ~width:16 10L ] in
+  Alcotest.(check int) "mismatched probe misses like the scan"
+    (match Entry.select (Array.to_list entries) narrow with
+    | Some _ -> 0
+    | None -> -1)
+    (Classifier.find_values c narrow);
+  Alcotest.(check bool) "flipped to fallback" true (Classifier.is_fallback c);
+  Alcotest.(check bool) "flip counted as rebuild" true (Classifier.rebuilds c >= 1);
+  Alcotest.(check int) "still answer-correct after flip" 0
+    (Classifier.find_values c [ v32 0x0a01_0203 ])
+
+let test_runtime_churn () =
+  (* Runtime-level integration over the synthetic route table: lookups
+     against the live classifier must track a plain mirror list under
+     interleaved adds and removes, with zero structural rebuilds. *)
+  let rt = Runtime.create () in
+  let n0 = 2_000 and extra = 500 in
+  let pool = Routes.prefixes ~seed:21 ~n:(n0 + extra) in
+  let mirror = ref [] in  (* (pool index, entry), descending install *)
+  let install i =
+    let addr, len = pool.(i) in
+    let e = Routes.entry ~addr ~len in
+    Runtime.add_exn Routes.program rt ~table:Routes.table_name e;
+    mirror := (i, e) :: !mirror
+  in
+  for i = 0 to n0 - 1 do
+    install i
+  done;
+  let g = Bitutil.Prng.create 77 in
+  let check_addr addr =
+    let key = Routes.key_of_addr addr in
+    let got =
+      Runtime.lookup rt ~table:Routes.table_name ~degrade_ternary_to_exact:false
+        key
+    in
+    let want = Entry.select (List.rev_map snd !mirror) key in
+    (* rev_map reverses: mirror is descending install, select wants
+       ascending. *)
+    Alcotest.(check bool) "lookup matches mirror scan" true (got = want)
+  in
+  let probe_round () =
+    for _ = 1 to 20 do
+      let addr =
+        if Bitutil.Prng.int g 10 < 8 && !mirror <> [] then
+          let i, _ = List.nth !mirror (Bitutil.Prng.int g (List.length !mirror)) in
+          let addr, len = pool.(i) in
+          addr lor (Int64.to_int (Bitutil.Prng.bits g ~width:32)
+                    land lnot (Routes.mask_int len) land 0xffffffff)
+        else Int64.to_int (Bitutil.Prng.bits g ~width:32)
+      in
+      check_addr addr
+    done
+  in
+  probe_round ();
+  (* Churn: remove a random live route, install a fresh one. *)
+  for t = 0 to extra - 1 do
+    let victim = Bitutil.Prng.int g (List.length !mirror) in
+    let vi, ve = List.nth !mirror victim in
+    (match Runtime.remove Routes.program rt ~table:Routes.table_name ve with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "remove: %s" m);
+    mirror := List.filter (fun (i, _) -> i <> vi) !mirror;
+    install (n0 + t);
+    if t mod 100 = 0 then probe_round ()
+  done;
+  probe_round ();
+  Alcotest.(check int) "entry count tracks mirror" (List.length !mirror)
+    (Runtime.entry_count rt Routes.table_name);
+  Alcotest.(check int) "no structural rebuilds under churn" 0
+    (Runtime.classifier_rebuilds rt);
+  (* Removing an uninstalled entry reports an error, not a crash. *)
+  (match
+     Runtime.remove Routes.program rt ~table:Routes.table_name
+       (Routes.entry ~addr:0x7f000000 ~len:32)
+   with
+  | Ok () -> Alcotest.fail "remove of absent entry succeeded"
+  | Error _ -> ())
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_differential; prop_incremental ]
+
+let () =
+  Alcotest.run "classifier"
+    [
+      ("properties", qsuite);
+      ( "units",
+        [
+          Alcotest.test_case "wide keys" `Quick test_wide_keys;
+          Alcotest.test_case "width-mismatch flip" `Quick test_width_mismatch_flip;
+          Alcotest.test_case "runtime churn" `Quick test_runtime_churn;
+        ] );
+    ]
