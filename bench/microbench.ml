@@ -256,6 +256,24 @@ let b14c_device_forward_staged_coverage =
     (Staged.stage (fun () ->
          ignore (Device.inject d ~source:(Device.External 0) routed_probe)))
 
+(* B15: B1 with the snapshot streamer's boundary check riding the packet
+   path. Off-boundary, [Sampler.tick] is a single float compare; at a
+   5 µs virtual window a full registry sample lands every ~10 packets,
+   so the row prices the *amortized* cost of continuous streaming, not
+   just the fast path. Lines go to a discarding sink (serve's default
+   for unbounded runs). Gated at B15/B1 <= 1.10x in [overhead_pairs]. *)
+let b15_device_forward_streamed =
+  let d = make_device ~engine:`Tree () in
+  let s =
+    Obs.Sampler.create ~interval_ns:5_000.
+      ~sink:(fun _ -> ())
+      (Device.metrics d) ~start_ns:(Device.now_ns d)
+  in
+  Test.make ~name:"B15 device: forward one packet, snapshot streamer"
+    (Staged.stage (fun () ->
+         ignore (Device.inject d ~source:(Device.External 0) routed_probe);
+         ignore (Obs.Sampler.tick s ~now_ns:(Device.now_ns d))))
+
 (* B12: one full differential-oracle execution — interpreter, device via
    the generator/checker loop, coverage on both sides, verdict compare. *)
 let b12_fuzz_oracle =
@@ -303,6 +321,7 @@ let tests =
       b11_device_forward_spans; b11b_device_forward_spans_sampled;
       b1c_device_forward_coverage; b2c_interp_forward_coverage; b12_fuzz_oracle;
       b14_device_forward_staged; b14c_device_forward_staged_coverage;
+      b15_device_forward_streamed;
     ]
 
 (* The match-structure rows are grouped apart because they need a different
@@ -371,6 +390,10 @@ let overhead_pairs =
       "netdebug/B2 interpreter: forward one packet",
       None,
       "B2c/B2" );
+    ( "netdebug/B15 device: forward one packet, snapshot streamer",
+      "netdebug/B1 device: forward one packet",
+      None,
+      "B15/B1" );
   ]
 
 (* Speedup assertions: the staged engine must actually be faster, not just

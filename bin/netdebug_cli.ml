@@ -11,6 +11,10 @@
      journey PROGRAM         stage-by-stage trace of one packet
      trace PROGRAM           run validation traffic, export per-packet spans
      metrics PROGRAM         run validation traffic, print Prometheus metrics
+     soak PROGRAM            heavy background traffic + concurrent validation,
+                             exit-code gated on the rolling health verdict
+     serve PROGRAM           soak while serving /metrics and /health over HTTP
+     monitor PROGRAM         periodic status snapshots judged by health rules
      usecases                run the seven use-cases and summarize
 *)
 
@@ -562,6 +566,233 @@ let fuzz_cmd =
       const run $ program_arg $ quirk_set_arg $ Common_args.quirks $ Common_args.faithful
       $ budget_arg $ seed_arg $ Common_args.jobs $ blind_arg $ report_arg $ pcap_arg)
 
+(* ---------------- soak ---------------- *)
+
+let soak_budget_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "budget" ] ~docv:"N" ~doc:"Background packets to inject.")
+
+let soak_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Soak PRNG seed.")
+
+let soak_rate_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "rate" ] ~docv:"MPPS"
+        ~doc:"Offered background rate in millions of packets per virtual second.")
+
+let soak_window_arg =
+  Arg.(
+    value & opt float 100_000.
+    & info [ "window" ] ~docv:"NS"
+        ~doc:"Sampling / health-evaluation window in virtual nanoseconds.")
+
+let soak_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:
+          "Write the observability artifacts (soak.jsonl, health.json, metrics.prom) \
+           into this directory.")
+
+let soak_cmd =
+  let run name quirks faithful budget seed rate window validations min_rate fault out =
+    let b = or_die (find_bundle name) in
+    let quirks = Common_args.effective_quirks quirks faithful in
+    let h = Harness.deploy ~quirks b in
+    (match fault with
+    | Some stage -> Device.inject_fault h.Harness.device ~stage Fault.Drop_at_stage
+    | None -> ());
+    let cfg =
+      {
+        Obs.Soak.default_cfg with
+        sk_budget = budget;
+        sk_seed = seed;
+        sk_rate_mpps = rate;
+        sk_window_ns = window;
+        sk_validations_per_window = validations;
+        sk_min_rate_mpps = min_rate;
+      }
+    in
+    let r = Obs.Soak.run ~cfg h in
+    print_string (Obs.Soak.render r);
+    (match out with
+    | Some dir ->
+        List.iter
+          (fun p -> Format.eprintf "wrote %s@." p)
+          (Obs.Soak.write_artifacts r ~dir)
+    | None -> ());
+    if not (Obs.Soak.exit_ok r) then exit 1
+  in
+  let validations_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "validations" ] ~docv:"N"
+          ~doc:"Generator/checker validation vectors per window.")
+  in
+  let min_rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "min-rate" ] ~docv:"MPPS"
+          ~doc:
+            "Acceptance floor on the sustained virtual packet rate; falling below it \
+             fails the run.")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"STAGE"
+          ~doc:
+            "Inject a drop fault into this stage first (e.g. ma:ipv4_lpm) — the health \
+             verdict must catch it and gate the exit code.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Sustained multi-flow background traffic (DNS/HTTP-like mixes) at millions of \
+          packets per virtual second with concurrent generator/checker validation; the \
+          exit code is gated on the rolling health verdict and the sustained rate")
+    Term.(
+      const run $ program_arg $ Common_args.quirks $ Common_args.faithful
+      $ soak_budget_arg $ soak_seed_arg $ soak_rate_arg $ soak_window_arg
+      $ validations_arg $ min_rate_arg $ fault_arg $ soak_out_arg)
+
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let run name quirks faithful port budget seed rate window out =
+    let b = or_die (find_bundle name) in
+    let quirks = Common_args.effective_quirks quirks faithful in
+    let h = Harness.deploy ~quirks b in
+    let registry = Device.metrics h.Harness.device in
+    let cfg =
+      {
+        Obs.Soak.default_cfg with
+        sk_budget = (if budget = 0 then max_int else budget);
+        sk_seed = seed;
+        sk_rate_mpps = rate;
+        sk_window_ns = window;
+      }
+    in
+    let health = Obs.Health.create (Obs.Soak.default_rules cfg) in
+    let srv =
+      Obs.Http.create ~port
+        [
+          ( "/metrics",
+            Obs.Http.route ~content_type:"text/plain; version=0.0.4" (fun () ->
+                Telemetry.Export.prometheus registry) );
+          ( "/health",
+            Obs.Http.route ~content_type:"application/json" (fun () ->
+                Obs.Health.to_json health) );
+        ]
+    in
+    Format.printf "serving http://127.0.0.1:%d/metrics and /health while soaking %s@."
+      (Obs.Http.port srv)
+      (if budget = 0 then "(unbounded; interrupt to stop)"
+       else Printf.sprintf "(%d packets)" budget);
+    Format.print_flush ();
+    (* stream JSONL to a file when asked, discard otherwise: an unbounded
+       serve loop must not buffer its time series in memory *)
+    let jsonl_chan =
+      match out with
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          Some (open_out (Filename.concat dir "soak.jsonl"))
+      | None -> None
+    in
+    let sink =
+      match jsonl_chan with Some oc -> output_string oc | None -> fun _ -> ()
+    in
+    let r =
+      Obs.Soak.run ~cfg ~health ~sink
+        ~on_window:(fun _ -> ignore (Obs.Http.poll srv))
+        h
+    in
+    (* answer stragglers before closing *)
+    ignore (Obs.Http.poll srv);
+    Obs.Http.close srv;
+    (match jsonl_chan with Some oc -> close_out oc | None -> ());
+    print_string (Obs.Soak.render r);
+    Format.printf "served %d HTTP request(s)@." (Obs.Http.served srv);
+    (match out with
+    | Some dir ->
+        let write name contents =
+          let path = Filename.concat dir name in
+          let oc = open_out path in
+          output_string oc contents;
+          close_out oc;
+          Format.eprintf "wrote %s@." path
+        in
+        write "health.json" r.Obs.Soak.so_health_json;
+        write "metrics.prom" r.Obs.Soak.so_prometheus
+    | None -> ());
+    if not (Obs.Soak.exit_ok r) then exit 1
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 9464
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:"TCP port for the HTTP endpoint (0 picks an ephemeral port).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Background packets to inject; 0 (default) runs until interrupted.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the soak workload while serving live Prometheus text exposition on \
+          /metrics and the rolling health verdict on /health over HTTP")
+    Term.(
+      const run $ program_arg $ Common_args.quirks $ Common_args.faithful $ port_arg
+      $ budget_arg $ soak_seed_arg $ soak_rate_arg $ soak_window_arg $ soak_out_arg)
+
+(* ---------------- monitor ---------------- *)
+
+let monitor_cmd =
+  let run name quirks faithful samples period load =
+    let b = or_die (find_bundle name) in
+    let quirks = Common_args.effective_quirks quirks faithful in
+    let h = Harness.deploy ~quirks b in
+    let background =
+      match b.Programs.entries with
+      | _ :: _ -> Packet.serialize (Packet.udp_ipv4 ~dst:0x0A000005L ~payload_bytes:256 ())
+      | [] -> Packet.serialize (Packet.udp_ipv4 ~payload_bytes:256 ())
+    in
+    let r = Obs.Monitor.run ~samples ~period_packets:period ~load h ~background in
+    print_string (Obs.Monitor.render r);
+    if not (Obs.Monitor.healthy r) then exit 1
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "samples" ] ~docv:"N" ~doc:"Status snapshots to take.")
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "period" ] ~docv:"PACKETS" ~doc:"Background packets between snapshots.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "load" ] ~docv:"FRACTION"
+          ~doc:"Background traffic pacing as a fraction of line rate.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Periodic device status snapshots under paced live traffic, judged by the \
+          health evaluator (use-case 6)")
+    Term.(
+      const run $ program_arg $ Common_args.quirks $ Common_args.faithful $ samples_arg
+      $ period_arg $ load_arg)
+
 (* ---------------- usecases ---------------- *)
 
 let usecases_cmd =
@@ -599,9 +830,11 @@ let usecases_cmd =
     (* 5. resources *)
     let rows = Usecases.Resources.inventory () in
     Format.printf "5. resources:     %d programs inventoried@." (List.length rows);
-    (* 6. status *)
-    let samples = Usecases.Status.monitor ~samples:3 h ~background:probe in
-    Format.printf "6. status:        %d snapshots@." (List.length samples);
+    (* 6. status, judged by the health evaluator *)
+    let mon = Obs.Monitor.run ~samples:3 h ~background:probe in
+    Format.printf "6. status:        %d snapshots, %a@."
+      (List.length mon.Obs.Monitor.mo_snapshots)
+      Obs.Health.pp mon.Obs.Monitor.mo_health;
     (* 7. comparison *)
     let c =
       Usecases.Comparison.run ~quirks_a:Quirks.none ~quirks_b:Quirks.none
@@ -620,5 +853,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; export_cmd; compile_cmd; verify_cmd; validate_cmd;
-            localize_cmd; journey_cmd; trace_cmd; metrics_cmd; fuzz_cmd;
-            usecases_cmd ]))
+            localize_cmd; journey_cmd; trace_cmd; metrics_cmd; fuzz_cmd; soak_cmd;
+            serve_cmd; monitor_cmd; usecases_cmd ]))

@@ -503,15 +503,22 @@ module Status = struct
   let monitor ?(period_packets = 50) ?(samples = 10) ?(load = 0.5) (h : Harness.t)
       ~background =
     let cfg = Device.config h.Harness.device in
-    (* live traffic paced at [load] x line rate *)
+    (* live traffic paced at [load] x line rate, relative to the device's
+       current clock — on a reused harness an absolute-zero schedule
+       would land every packet in the past and tail-drop the RX ring *)
     let wire_bits = float_of_int (Bitstring.byte_length background * 8) in
     let interval_ns = wire_bits /. (load *. Config.line_rate_gbps cfg) in
+    (* drain any backlog a previous use-case left queued: the paced
+       schedule models an otherwise-idle device, and a pre-existing
+       burst would tail-drop against the monitoring traffic *)
+    Device.quiesce h.Harness.device;
+    let t0 = Device.now_ns h.Harness.device in
     let out = ref [] in
     let n = ref 0 in
     for s = 0 to samples - 1 do
       for i = 0 to period_packets - 1 do
         let port = ((s * period_packets) + i) mod cfg.Config.ports in
-        let at_ns = float_of_int !n *. interval_ns in
+        let at_ns = t0 +. (float_of_int !n *. interval_ns) in
         incr n;
         ignore
           (Device.inject h.Harness.device ~source:(Device.External port) ~at_ns background)

@@ -48,6 +48,26 @@ module Functional : sig
 
   val pp : Format.formatter -> report -> unit
   (** One summary line plus one line per mismatch. *)
+
+  val oracle_runtime : P4ir.Programs.bundle -> P4ir.Runtime.t
+  (** Fresh runtime with the bundle's entries installed — the spec side of
+      the differential. Exposed so long-running drivers (the soak loop)
+      can build one oracle and validate incrementally. *)
+
+  val check_vector :
+    ?regs:P4ir.Regstate.t ->
+    P4ir.Programs.bundle ->
+    P4ir.Runtime.t ->
+    Harness.t ->
+    int ->
+    Bitutil.Bitstring.t ->
+    mismatch option
+  (** Run one vector through the full generator/checker loop: interpret
+      the spec under the oracle runtime, program the checker from the
+      predicted observation, fire the generator, read the verdict.
+      Clears generator/checker state (and quiesces the device) first, so
+      it can interleave with background traffic; device counters and
+      histograms are preserved across calls. *)
 end
 
 module Performance : sig

@@ -1,0 +1,59 @@
+(* Continuous profiling hooks: per-window Gc.quick_stat deltas published
+   as first-class registry gauges, so the snapshot streamer exports the
+   host's allocation behaviour alongside the device metrics it samples.
+   (The companion per-stage cycle-share attribution lives in
+   Target.Device, which registers a stage/<name>/cycle_share gauge per
+   pipeline stage.)
+
+   [tick] is called once per window by the soak/serve loops; gauges read
+   the deltas computed by the most recent tick. *)
+
+type t = {
+  mutable last : Gc.stat;
+  mutable minor_words : float;
+  mutable promoted_words : float;
+  mutable major_words : float;
+  mutable minor_collections : float;
+  mutable major_collections : float;
+  mutable heap_words : float;
+}
+
+let attach registry =
+  let s = Gc.quick_stat () in
+  let t =
+    {
+      last = s;
+      minor_words = 0.;
+      promoted_words = 0.;
+      major_words = 0.;
+      minor_collections = 0.;
+      major_collections = 0.;
+      heap_words = float_of_int s.Gc.heap_words;
+    }
+  in
+  let gauge name help read = Telemetry.Registry.gauge registry ~help ("gc/" ^ name) read in
+  gauge "minor_words_per_window" "words allocated in the minor heap during the last window"
+    (fun () -> t.minor_words);
+  gauge "promoted_words_per_window" "words promoted to the major heap during the last window"
+    (fun () -> t.promoted_words);
+  gauge "major_words_per_window" "words allocated in the major heap during the last window"
+    (fun () -> t.major_words);
+  gauge "minor_collections_per_window" "minor GC cycles during the last window" (fun () ->
+      t.minor_collections);
+  gauge "major_collections_per_window" "major GC cycles during the last window" (fun () ->
+      t.major_collections);
+  gauge "heap_words" "current major heap size in words" (fun () -> t.heap_words);
+  t
+
+let tick t =
+  let s = Gc.quick_stat () in
+  let prev = t.last in
+  t.minor_words <- s.Gc.minor_words -. prev.Gc.minor_words;
+  t.promoted_words <- s.Gc.promoted_words -. prev.Gc.promoted_words;
+  t.major_words <- s.Gc.major_words -. prev.Gc.major_words;
+  t.minor_collections <-
+    float_of_int (s.Gc.minor_collections - prev.Gc.minor_collections);
+  t.major_collections <-
+    float_of_int (s.Gc.major_collections - prev.Gc.major_collections);
+  t.heap_words <- float_of_int s.Gc.heap_words;
+  t.last <- s

@@ -1,0 +1,19 @@
+(** Continuous profiling hooks: per-window [Gc.quick_stat] deltas
+    published as registry gauges ([gc/minor_words_per_window],
+    [gc/promoted_words_per_window], [gc/major_words_per_window],
+    [gc/minor_collections_per_window], [gc/major_collections_per_window],
+    [gc/heap_words]), so the snapshot streamer exports host allocation
+    behaviour alongside the device metrics.
+
+    Per-stage cycle-share attribution is the device's half of the
+    profiling story: {!Target.Device.create} registers a
+    [stage/<name>/cycle_share] gauge per pipeline stage. *)
+
+type t
+
+val attach : Telemetry.Registry.t -> t
+(** Register the [gc/*] gauges and take the initial GC snapshot. *)
+
+val tick : t -> unit
+(** Advance the window: gauges report deltas between the last two
+    [tick]s. Call once per sampling window, before the sample. *)

@@ -100,6 +100,47 @@ let merge a b =
   t.maxv <- max a.maxv b.maxv;
   t
 
+let copy t =
+  {
+    bins = Array.copy t.bins;
+    n = t.n;
+    sum = t.sum;
+    sumsq = t.sumsq;
+    minv = t.minv;
+    maxv = t.maxv;
+  }
+
+let delta ~since cur =
+  let t = create () in
+  for i = 0 to nbins - 1 do
+    let d = cur.bins.(i) - since.bins.(i) in
+    t.bins.(i) <- (if d < 0 then 0 else d)
+  done;
+  t.n <- max 0 (cur.n - since.n);
+  t.sum <- cur.sum -. since.sum;
+  t.sumsq <- cur.sumsq -. since.sumsq;
+  if t.n > 0 then begin
+    (* the cumulative min/max do not say which window an extreme landed in,
+       so bound the window extremes by its populated bins instead *)
+    (try
+       for i = 0 to nbins - 1 do
+         if t.bins.(i) > 0 then begin
+           t.minv <- (if i = 0 then 0. else upper_of (i - 1));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (try
+       for i = nbins - 1 downto 0 do
+         if t.bins.(i) > 0 then begin
+           t.maxv <- min cur.maxv (upper_of i);
+           raise Exit
+         end
+       done
+     with Exit -> ())
+  end;
+  t
+
 let clear t =
   Array.fill t.bins 0 nbins 0;
   t.n <- 0;

@@ -38,6 +38,17 @@ val absorb : t -> t -> unit
     registered device histogram) and replacing it would orphan future
     updates. [a] and [b] must be distinct. *)
 
+val copy : t -> t
+(** Independent snapshot: later [add]s to either side do not affect the
+    other. Used by the observability sampler to window a live histogram. *)
+
+val delta : since:t -> t -> t
+(** [delta ~since cur] is the dataset added to [cur] after [since] was
+    [copy]ed from it. Bin counts, [count], [total] and [stddev] inputs are
+    exact; [min_value]/[max_value] are bin-bound approximations because the
+    cumulative extremes do not record which window they landed in.
+    [percentile] on the result reports window quantiles. *)
+
 val clear : t -> unit
 
 val pp_summary : Format.formatter -> t -> unit

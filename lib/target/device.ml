@@ -257,6 +257,26 @@ let create ?engine ?update_clock (pipeline : Pipeline.t) =
         ("stage/" ^ ss.ss_name ^ "/latency_ns")
         (fun () -> lat))
     stages;
+  (* continuous-profiling attribution: each stage's share of the total
+     pipeline cycles spent so far (seen x latency, normalized over all
+     stages). Computed lazily at snapshot time so the hot path pays
+     nothing; reads 0 before any traffic. *)
+  let cycle_total () =
+    Array.fold_left
+      (fun acc ss ->
+        acc +. (Int64.to_float (Counter.get ss.ss_seen) *. ss.ss_latency_ns))
+      0. stages
+  in
+  Array.iter
+    (fun ss ->
+      Registry.gauge metrics
+        ~help:"this stage's share of all pipeline cycles spent so far"
+        ("stage/" ^ ss.ss_name ^ "/cycle_share")
+        (fun () ->
+          let total = cycle_total () in
+          if total <= 0. then 0.
+          else Int64.to_float (Counter.get ss.ss_seen) *. ss.ss_latency_ns /. total))
+    stages;
   (* table-scale telemetry: live entry counts plus control-plane update
      latency per table. Update durations come from [update_clock]; without
      one they read 0, keeping deterministic runs deterministic while still

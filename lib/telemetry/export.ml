@@ -123,12 +123,28 @@ let prom_name name =
     name;
   Buffer.contents b
 
+(* HELP text is a single logical line in the exposition format: literal
+   backslashes and newlines must be escaped per the Prometheus spec. *)
+let prom_escape_help s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_quantiles = [ 50.0; 90.0; 99.0; 99.9 ]
+
 let prometheus registry =
   let b = Buffer.create 4096 in
   List.iter
     (fun (name, help, value) ->
       let n = prom_name name in
-      if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" n help);
+      if help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" n (prom_escape_help help));
       match value with
       | Registry.Counter v ->
           Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %Ld\n" n n v)
@@ -138,12 +154,17 @@ let prometheus registry =
           Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
           List.iter
             (fun q ->
+              (* label derived from the value itself, so adding or changing a
+                 quantile can never mislabel the series *)
               Buffer.add_string b
-                (Printf.sprintf "%s{quantile=\"%s\"} %.6g\n" n
-                   (match q with 50.0 -> "0.5" | 90.0 -> "0.9" | _ -> "0.99")
+                (Printf.sprintf "%s{quantile=\"%g\"} %.6g\n" n (q /. 100.)
                    (Stats.Histogram.percentile h q)))
-            [ 50.0; 90.0; 99.0 ];
+            prom_quantiles;
           Buffer.add_string b (Printf.sprintf "%s_sum %.6g\n" n (Stats.Histogram.total h));
-          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Stats.Histogram.count h)))
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n (Stats.Histogram.count h));
+          Buffer.add_string b
+            (Printf.sprintf "%s_min %.6g\n" n (Stats.Histogram.min_value h));
+          Buffer.add_string b
+            (Printf.sprintf "%s_max %.6g\n" n (Stats.Histogram.max_value h)))
     (Registry.snapshot registry);
   Buffer.contents b

@@ -17,7 +17,9 @@ val text : Span.t -> string
 
 val prometheus : Registry.t -> string
 (** Prometheus text exposition. Metric names are sanitized and prefixed
-    with [netdebug_]; histograms export as summaries (p50/p90/p99 +
-    [_sum]/[_count]). *)
+    with [netdebug_]; HELP text has backslashes and newlines escaped per
+    the exposition format; histograms export as summaries
+    (p50/p90/p99/p99.9 with quantile labels derived from the values, plus
+    [_sum]/[_count]/[_min]/[_max]). *)
 
 val json_escape : string -> string

@@ -142,8 +142,11 @@ let prometheus_golden =
    netdebug_lat_ns{quantile=\"0.5\"} 0.5\n\
    netdebug_lat_ns{quantile=\"0.9\"} 0.5\n\
    netdebug_lat_ns{quantile=\"0.99\"} 0.5\n\
+   netdebug_lat_ns{quantile=\"0.999\"} 0.5\n\
    netdebug_lat_ns_sum 0.75\n\
    netdebug_lat_ns_count 2\n\
+   netdebug_lat_ns_min 0.25\n\
+   netdebug_lat_ns_max 0.5\n\
    # HELP netdebug_queue_depth a gauge\n\
    # TYPE netdebug_queue_depth gauge\n\
    netdebug_queue_depth 2.5\n\
@@ -162,6 +165,13 @@ let test_prometheus_golden () =
   Histogram.add h 0.5;
   Histogram.add h 0.25;
   check_string "prometheus" prometheus_golden (Export.prometheus r)
+
+let test_prometheus_help_escapes () =
+  let r = Registry.create () in
+  ignore (Registry.counter r ~help:"first line\nsecond \\ line" "x");
+  check_string "escaped help"
+    "# HELP netdebug_x first line\\nsecond \\\\ line\n# TYPE netdebug_x counter\nnetdebug_x 0\n"
+    (Export.prometheus r)
 
 let test_chrome_escapes () =
   let s = Span.create () in
@@ -443,6 +453,7 @@ let () =
           Alcotest.test_case "jsonl golden" `Quick test_jsonl_golden;
           Alcotest.test_case "text golden" `Quick test_text_golden;
           Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+          Alcotest.test_case "prometheus help escapes" `Quick test_prometheus_help_escapes;
           Alcotest.test_case "chrome escapes" `Quick test_chrome_escapes;
         ] );
       ( "registry",
