@@ -274,6 +274,26 @@ let b15_device_forward_streamed =
          ignore (Device.inject d ~source:(Device.External 0) routed_probe);
          ignore (Obs.Sampler.tick s ~now_ns:(Device.now_ns d))))
 
+(* B16: one host-to-host forward through the co-simulated network fabric —
+   the B14 staged device forward with the fabric's event heap, probe
+   bookkeeping, trail and delivery accounting wrapped around it. Topology:
+   a single switch with two hosts, so each operation is exactly one staged
+   device traversal plus pure fabric overhead. Gated at B16/B14 <= 1.15x
+   in [overhead_pairs]: the fabric must stay a thin scheduler around the
+   device, not a second data plane. *)
+let b16_fabric_forward =
+  let topo = Net.Topology.single ~hosts:2 () in
+  let fab = Net.Fabric.create topo in
+  let src = topo.Net.Topology.hosts.(0) in
+  let dst = topo.Net.Topology.hosts.(1) in
+  let bits = Net.Fleet.probe_bits ~payload_bytes:26 src dst in
+  Test.make ~name:"B16 fabric: forward one packet, co-simulated fabric"
+    (Staged.stage (fun () ->
+         Net.Fabric.clear_probes fab;
+         let id = Net.Fabric.send fab ~src bits in
+         Net.Fabric.run fab;
+         ignore (Net.Fabric.fate fab id)))
+
 (* B12: one full differential-oracle execution — interpreter, device via
    the generator/checker loop, coverage on both sides, verdict compare. *)
 let b12_fuzz_oracle =
@@ -321,7 +341,7 @@ let tests =
       b11_device_forward_spans; b11b_device_forward_spans_sampled;
       b1c_device_forward_coverage; b2c_interp_forward_coverage; b12_fuzz_oracle;
       b14_device_forward_staged; b14c_device_forward_staged_coverage;
-      b15_device_forward_streamed;
+      b15_device_forward_streamed; b16_fabric_forward;
     ]
 
 (* The match-structure rows are grouped apart because they need a different
@@ -394,6 +414,12 @@ let overhead_pairs =
       "netdebug/B1 device: forward one packet",
       None,
       "B15/B1" );
+    (* the network fabric's per-hop cost over the bare staged device it
+       schedules (B16 wraps exactly one B14-style forward) *)
+    ( "netdebug/B16 fabric: forward one packet, co-simulated fabric",
+      "netdebug/B14 device: forward one packet, staged engine",
+      Some 1.15,
+      "B16/B14" );
   ]
 
 (* Speedup assertions: the staged engine must actually be faster, not just

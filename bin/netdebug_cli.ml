@@ -15,6 +15,7 @@
                              exit-code gated on the rolling health verdict
      serve PROGRAM           soak while serving /metrics and /health over HTTP
      monitor PROGRAM         periodic status snapshots judged by health rules
+     net                     deploy a whole topology and validate it end to end
      usecases                run the seven use-cases and summarize
 *)
 
@@ -29,6 +30,7 @@ module Fault = Target.Fault
 module Harness = Netdebug.Harness
 module Usecases = Netdebug.Usecases
 module Localize = Netdebug.Localize
+module Fleet = Net.Fleet
 open Cmdliner
 
 let find_bundle name =
@@ -846,6 +848,175 @@ let usecases_cmd =
   Cmd.v (Cmd.info "usecases" ~doc:"Exercise all seven use-cases briefly")
     Term.(const run $ const ())
 
+(* ---------------- net ---------------- *)
+
+let net_cmd =
+  let parse_topo spec =
+    let dims s =
+      match String.split_on_char 'x' s with
+      | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b -> Some (a, b)
+          | _ -> None)
+      | _ -> None
+    in
+    if Filename.check_suffix spec ".json" then Net.Topology.of_file spec
+    else
+      try
+        match String.split_on_char ':' spec with
+        | [ "fat-tree"; k ] -> (
+            match int_of_string_opt k with
+            | Some k -> Ok (Net.Topology.fat_tree k)
+            | None -> Error (Printf.sprintf "bad fat-tree arity %S" k))
+        | [ "leaf-spine"; d ] -> (
+            match dims d with
+            | Some (spines, leaves) -> Ok (Net.Topology.leaf_spine ~spines ~leaves ())
+            | None -> Error (Printf.sprintf "bad leaf-spine dims %S (want SxL)" d))
+        | [ "single"; n ] -> (
+            match int_of_string_opt n with
+            | Some hosts -> Ok (Net.Topology.single ~hosts ())
+            | None -> Error (Printf.sprintf "bad host count %S" n))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown topology %S (want fat-tree:K, leaf-spine:SxL, single:N or a \
+                  .json file)"
+                 spec)
+      with Invalid_argument msg -> Error msg
+  in
+  let run topo_spec scenario jobs fault telemetry_dir report_file export_topo =
+    let topo = or_die (parse_topo topo_spec) in
+    Format.printf "%s@." (Net.Topology.summary topo);
+    let t0 = Unix.gettimeofday () in
+    let fab = Net.Fabric.create topo in
+    Format.printf "deployed %d devices in %.2f s@."
+      (Array.length topo.Net.Topology.nodes)
+      (Unix.gettimeofday () -. t0);
+    (match fault with
+    | None -> ()
+    | Some spec ->
+        let device, stage =
+          match String.index_opt spec ':' with
+          | Some i ->
+              ( String.sub spec 0 i,
+                String.sub spec (i + 1) (String.length spec - i - 1) )
+          | None -> (spec, "ma:ipv4_lpm")
+        in
+        Net.Fabric.inject_fault fab ~device ~stage Fault.Drop_at_stage;
+        Format.printf "injected drop fault: device %s, stage %s@." device stage);
+    let r = Fleet.run ~jobs scenario fab in
+    print_string (Fleet.render r);
+    (match export_topo with
+    | Some file ->
+        Net.Topology.to_file topo file;
+        Format.printf "wrote %s@." file
+    | None -> ());
+    (match report_file with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Fleet.render_outcomes r);
+        close_out oc;
+        Format.printf "wrote %s@." file
+    | None -> ());
+    (match telemetry_dir with
+    | Some dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let path = Filename.concat dir "metrics.prom" in
+        let oc = open_out path in
+        output_string oc (Telemetry.Export.prometheus r.Fleet.r_registry);
+        close_out oc;
+        Format.printf "wrote %s@." path
+    | None -> ());
+    match Fleet.failures r with
+    | [] -> ()
+    | first :: _ ->
+        (* turn the first failing pair into a device-level localization *)
+        let host name =
+          match
+            Array.to_list topo.Net.Topology.hosts
+            |> List.find_opt (fun (h : Net.Topology.host) -> h.Net.Topology.h_name = name)
+          with
+          | Some h -> h
+          | None -> or_die (Error ("unknown host " ^ name))
+        in
+        Format.printf "@.localizing first failure (%s -> %s):@." first.Fleet.o_src
+          first.Fleet.o_dst;
+        let verdict, ev =
+          Net.Localize.locate fab ~src:(host first.Fleet.o_src)
+            ~dst:(host first.Fleet.o_dst)
+        in
+        Format.printf "verdict: %s@." (Net.Localize.verdict_to_string verdict);
+        Format.printf "path evidence (%d probes, %d delivered, %d devices examined):@."
+          ev.Net.Localize.n_count ev.Net.Localize.n_delivered
+          ev.Net.Localize.n_bisect_probes;
+        List.iter
+          (fun (dev, delta) ->
+            Format.printf "  %-12s rx %Ld, %d span(s)@." dev delta
+              (List.assoc dev ev.Net.Localize.n_span_counts))
+          ev.Net.Localize.n_rx_deltas;
+        exit 1
+  in
+  let topo_arg =
+    Arg.(
+      value & opt string "fat-tree:4"
+      & info [ "topo" ] ~docv:"SPEC"
+          ~doc:
+            "Topology to build: $(b,fat-tree:K) (canonical k-ary fat-tree), \
+             $(b,leaf-spine:SxL) (S spines, L leaves), $(b,single:N) (one switch, N \
+             hosts) or a topology $(b,.json) file.")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (enum [ ("reachability", Fleet.Reachability); ("waypoint", Fleet.Waypoint) ])
+          Fleet.Reachability
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "What the edge generator/checker pairs assert: $(b,reachability) (every \
+             probe arrives, TTL and MAC rewritten correctly) or $(b,waypoint) \
+             (additionally, the device trail equals the computed path).")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"DEV[:STAGE]"
+          ~doc:
+            "Inject a drop fault into this device before the run (stage defaults to \
+             $(b,ma:ipv4_lpm)); the run then demonstrates device-level localization.")
+  in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"DIR"
+          ~doc:
+            "Export the merged fleet registry (per-device prefixed) as \
+             $(i,DIR)/metrics.prom.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-pair outcome table to $(docv) — deterministic for a given \
+             topology and scenario, byte-identical for every $(b,--jobs) value.")
+  in
+  let export_topo_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export-topo" ] ~docv:"FILE"
+          ~doc:"Write the topology as JSON (reloadable via $(b,--topo) $(docv)).")
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:"Build a topology, deploy the router fleet and validate it end to end")
+    Term.(
+      const run $ topo_arg $ scenario_arg $ Common_args.jobs $ fault_arg $ telemetry_arg
+      $ report_arg $ export_topo_arg)
+
 let () =
   let doc = "programmable validation and real-time debugging of data planes" in
   let info = Cmd.info "netdebug" ~version:"1.0.0" ~doc in
@@ -854,4 +1025,4 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; export_cmd; compile_cmd; verify_cmd; validate_cmd;
             localize_cmd; journey_cmd; trace_cmd; metrics_cmd; fuzz_cmd; soak_cmd;
-            serve_cmd; monitor_cmd; usecases_cmd ]))
+            serve_cmd; monitor_cmd; net_cmd; usecases_cmd ]))

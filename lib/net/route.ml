@@ -1,0 +1,118 @@
+module Entry = P4ir.Entry
+module Value = P4ir.Value
+module Programs = P4ir.Programs
+
+let bundle () =
+  {
+    Programs.program = Programs.basic_router.Programs.program;
+    entries = [];
+    description = "fleet-wide IPv4 LPM router (routes installed per device by Net.Fabric)";
+  }
+
+(* adjacency: for every node, (port, peer, peer_port) ascending by port *)
+let adjacency (topo : Topology.t) =
+  let adj = Array.make (Array.length topo.Topology.nodes) [] in
+  Array.iter
+    (fun (l : Topology.link) ->
+      adj.(l.Topology.l_a) <- (l.Topology.l_a_port, l.Topology.l_b, l.Topology.l_b_port) :: adj.(l.Topology.l_a);
+      adj.(l.Topology.l_b) <- (l.Topology.l_b_port, l.Topology.l_a, l.Topology.l_a_port) :: adj.(l.Topology.l_b))
+    topo.Topology.links;
+  Array.map (List.sort compare) adj
+
+let dists (topo : Topology.t) ~from =
+  let adj = adjacency topo in
+  let n = Array.length topo.Topology.nodes in
+  let d = Array.make n max_int in
+  d.(from) <- 0;
+  let q = Queue.create () in
+  Queue.add from q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (_, v, _) ->
+        if d.(v) = max_int then begin
+          d.(v) <- d.(u) + 1;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  d
+
+(* Deterministic ECMP: all neighbors one hop closer, sorted by (peer,
+   port), indexed by a hash of (node, dst edge). The same formula decides
+   both the installed entry and [path]'s replay of it. *)
+let next_hop (topo : Topology.t) ~dists ~node ~dst_edge =
+  if node = dst_edge || dists.(node) = max_int then None
+  else
+    let adj = adjacency topo in
+    let cands =
+      List.filter (fun (_, peer, _) -> dists.(peer) = dists.(node) - 1) adj.(node)
+      |> List.sort (fun (_, p1, pt1) (_, p2, pt2) -> compare (p1, pt1) (p2, pt2))
+    in
+    match cands with
+    | [] -> None
+    | _ ->
+        let idx = ((node * 31) + dst_edge) mod List.length cands in
+        let port, peer, _ = List.nth cands idx in
+        Some (port, peer)
+
+let lpm_key prefix len = Entry.lpm (Value.make ~width:32 prefix) len
+
+let nexthop_entry ~port ~dmac =
+  Entry.make
+    ~keys:[ lpm_key (Int64.of_int 0) 0 ] (* placeholder, callers rebuild keys *)
+    ~action:"set_nexthop"
+    ~args:[ Value.of_int ~width:9 port; Value.make ~width:48 dmac ]
+    ()
+
+let entry ~prefix ~len ~port ~dmac =
+  { (nexthop_entry ~port ~dmac) with Entry.keys = [ lpm_key prefix len ] }
+
+let entries_for (topo : Topology.t) id =
+  let out = ref [] in
+  List.iter
+    (fun (e : Topology.node) ->
+      match e.Topology.n_subnet with
+      | None -> ()
+      | Some (prefix, len) ->
+          if e.Topology.n_id = id then
+            (* terminate the subnet: one /32 per attached host *)
+            Array.iter
+              (fun (h : Topology.host) ->
+                if h.Topology.h_node = id then
+                  out :=
+                    ( "ipv4_lpm",
+                      entry ~prefix:h.Topology.h_ip ~len:32 ~port:h.Topology.h_port
+                        ~dmac:h.Topology.h_mac )
+                    :: !out)
+              topo.Topology.hosts
+          else
+            let d = dists topo ~from:e.Topology.n_id in
+            match next_hop topo ~dists:d ~node:id ~dst_edge:e.Topology.n_id with
+            | None -> () (* unreachable edge: no route, LPM default drops *)
+            | Some (port, peer) ->
+                out :=
+                  ("ipv4_lpm", entry ~prefix ~len ~port ~dmac:(Topology.node_mac peer))
+                  :: !out)
+    (Topology.edges topo);
+  List.rev !out
+
+let path (topo : Topology.t) ~src_edge ~dst_edge =
+  if src_edge = dst_edge then Some [ src_edge ]
+  else
+    let d = dists topo ~from:dst_edge in
+    if d.(src_edge) = max_int then None
+    else
+      let rec go acc node =
+        if node = dst_edge then Some (List.rev (node :: acc))
+        else
+          match next_hop topo ~dists:d ~node ~dst_edge with
+          | None -> None
+          | Some (_, peer) -> go (node :: acc) peer
+      in
+      go [] src_edge
+
+let tier = function
+  | Topology.Edge | Topology.Leaf -> 0
+  | Topology.Aggregation -> 1
+  | Topology.Core | Topology.Spine -> 2

@@ -1,0 +1,40 @@
+(** Build-time route computation: turn a {!Topology} into per-device
+    control-plane state for the fleet-wide router program.
+
+    Every device runs the same IPv4 LPM router (the paper's
+    [basic_router] data plane); what differs per device is its
+    [ipv4_lpm] table. For each destination edge subnet, each device
+    installs one LPM entry pointing at its next hop on a shortest path
+    (BFS over the switch graph); the destination edge switch itself
+    installs one /32 per attached host. Next-hop selection among
+    equal-cost candidates is a deterministic hash of (device, destination
+    edge), so traffic spreads across the ECMP fan the way a real fabric's
+    hashing would — and {!path} can reproduce the exact device sequence
+    any packet will take, which is what the network-level localization
+    bisects along. *)
+
+val bundle : unit -> P4ir.Programs.bundle
+(** The router program every device runs, with an empty entry list (the
+    fabric installs {!entries_for} per device instead). *)
+
+val dists : Topology.t -> from:int -> int array
+(** BFS hop counts over the switch graph; [max_int] when unreachable. *)
+
+val next_hop : Topology.t -> dists:int array -> node:int -> dst_edge:int -> (int * int) option
+(** [(port, peer)] toward [dst_edge] from [node], given [dists ~from:dst_edge]:
+    the deterministically-hashed choice among all neighbors one hop
+    closer. [None] when [node] is the destination or it is unreachable. *)
+
+val entries_for : Topology.t -> int -> (string * P4ir.Entry.t) list
+(** The [ipv4_lpm] install list for this device: one subnet route per
+    remote edge switch, one host /32 per local host. Deterministic
+    order (edges ascending, then hosts ascending). *)
+
+val path : Topology.t -> src_edge:int -> dst_edge:int -> int list option
+(** The device id sequence a packet injected at [src_edge] traverses to
+    reach [dst_edge] under {!entries_for} routing, both endpoints
+    included. [None] when no path exists. *)
+
+val tier : Topology.role -> int
+(** Edge/Leaf = 0, Aggregation = 1, Core/Spine = 2 — the "how deep into
+    the fabric" rank the waypoint scenario asserts over. *)

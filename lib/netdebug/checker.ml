@@ -38,6 +38,12 @@ let on_output t (out : Device.output) =
   Stats.Histogram.add t.lat (out.Device.o_out_time_ns -. out.Device.o_in_time_ns);
   Stats.Rate.record t.rate ~now_ns:out.Device.o_out_time_ns
     ~bytes:(Bitstring.byte_length out.Device.o_bits);
+  (* rule evaluation needs the emission re-parsed into header fields — a
+     full interpreter context per packet. With no rules armed (the common
+     case outside a validation run: soak background traffic, fabric
+     forwarding hops) none of that is observable, so skip it and keep the
+     tap at counter-and-histogram cost. *)
+  if t.rules <> [] then begin
   let env = Env.create t.program in
   let runtime = P4ir.Runtime.create () in
   let ctx = Exec.make_ctx ~env ~runtime () in
@@ -68,6 +74,7 @@ let on_output t (out : Device.output) =
         end
       end)
     t.rules
+  end
 
 let create ?(capture_limit = 64) ~program device =
   let metrics = Device.metrics device in

@@ -32,7 +32,7 @@ let deploy ?(quirks = Sdnet.Quirks.default) ?config ?(install_entries = true) ?s
   let controller = Controller.create ~pump:(fun () -> Agent.process agent) host_ep in
   { bundle; compile_report; device; agent; controller }
 
-let replicate t =
+let replicate ?(faults = false) t =
   let r =
     deploy
       ~quirks:t.compile_report.Sdnet.Compile.quirks
@@ -47,6 +47,10 @@ let replicate t =
         (fun e -> Runtime.add_exn t.bundle.Programs.program dst ~table e)
         (Runtime.entries src table))
     (Runtime.tables src);
+  if faults then
+    List.iter
+      (fun (stage, f) -> Device.inject_fault r.device ~stage f)
+      (Device.faults t.device);
   r
 
 let trace_health t =

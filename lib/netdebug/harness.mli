@@ -28,17 +28,24 @@ val deploy :
     (see {!Target.Device.create}).
     @raise Invalid_argument when compilation fails. *)
 
-val replicate : t -> t
+val replicate : ?faults:bool -> t -> t
 (** A fresh, independent deployment equivalent to [t]: same bundle,
     compiled under the same quirks and device configuration, same span
     sampling rate, and the same control-plane entries (cloned from [t]'s
     runtime in install order, so priorities resolve identically). The
     replica shares no mutable state with [t] — its device, registers,
     telemetry and channel are its own — which is what lets worker
-    domains drive replicas concurrently (see [Par]). Not replicated:
-    injected port/register faults ({!Target.Device.set_port_broken} and
-    friends are test-local perturbations, not deployment facts) and any
-    traffic history. *)
+    domains drive replicas concurrently (see [Par]). Never replicated:
+    broken ports ({!Target.Device.set_port_broken} is a test-local
+    perturbation, not a deployment fact) and any traffic history.
+
+    [faults] (default [false]) additionally carries [t]'s injected stage
+    faults ({!Target.Device.faults}) onto the replica. Off by design for
+    parallel validation sweeps — a replica exists to reproduce the
+    {e deployment}, not a perturbation experiment — but a network-scale
+    fleet replicating a fabric for sharded analysis must preserve a
+    seeded device fault in every replica or localization tests would
+    only ever see it on one shard (see [Net.Fabric.replicate]). *)
 
 val trace_health : t -> string
 (** One-line telemetry health summary: spans retained/evicted, sampling

@@ -554,6 +554,11 @@ let clear_faults t =
     t.stages;
   t.faults_active := false
 
+let faults t =
+  Array.to_list t.stages
+  |> List.filter_map (fun ss ->
+         match ss.ss_fault with Some f -> Some (ss.ss_name, f) | None -> None)
+
 (* A child span of the in-flight packet's root. *)
 let span_child t ~kind ~name ~t0 ~t1 ~bytes ~flags ~note =
   ignore

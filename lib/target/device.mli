@@ -145,4 +145,9 @@ val inject_fault : t -> stage:string -> Fault.t -> unit
 
 val clear_faults : t -> unit
 
+val faults : t -> (string * Fault.t) list
+(** Currently injected faults as (stage, fault), in pipeline stage order.
+    What a caller needs to carry a device's seeded perturbations onto a
+    replica (see [Harness.replicate ?faults]). *)
+
 val status : t -> status

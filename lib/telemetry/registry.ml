@@ -50,14 +50,22 @@ let histogram t ?(help = "") name =
    Hashtbl.replace binding per name — when two shards registered the same
    metric the help must end up bound exactly once, never stacked with
    Hashtbl.add (a stacked binding would make the later removal/replace in
-   set_help expose a stale duplicate and double-count the registration). *)
-let merge ~into src =
-  if into.counters != src.counters then
+   set_help expose a stale duplicate and double-count the registration).
+
+   [prefix] namespaces every folded metric: a fleet coordinator merging N
+   per-device registries passes a distinct prefix per device so equal
+   names (stage/<n>/fault_hits, ...) land as distinct fleet metrics
+   instead of summing. With a prefix the shared-counter-set shortcut no
+   longer applies — the prefixed names are new even in a shared set. *)
+let merge ?(prefix = "") ~into src =
+  let pre name = if prefix = "" then name else prefix ^ name in
+  if prefix <> "" || into.counters != src.counters then
     List.iter
-      (fun (name, v) -> Stats.Counter.Set.add into.counters name v)
+      (fun (name, v) -> Stats.Counter.Set.add into.counters (pre name) v)
       (Stats.Counter.Set.to_alist src.counters);
   Hashtbl.iter
     (fun name h ->
+      let name = pre name in
       let dst =
         match Hashtbl.find_opt into.histograms name with
         | Some d -> d
@@ -70,7 +78,9 @@ let merge ~into src =
       if dst != h then Stats.Histogram.absorb dst h)
     src.histograms;
   Hashtbl.iter
-    (fun name help -> if Hashtbl.find_opt into.helps name = None then set_help into name help)
+    (fun name help ->
+      let name = pre name in
+      if Hashtbl.find_opt into.helps name = None then set_help into name help)
     src.helps
 
 let snapshot t =

@@ -32,7 +32,7 @@ val histogram : t -> ?help:string -> string -> Stats.Histogram.t
 val help : t -> string -> string
 (** Help text attached at registration; "" when none. *)
 
-val merge : into:t -> t -> unit
+val merge : ?prefix:string -> into:t -> t -> unit
 (** [merge ~into src] folds [src]'s metrics into [into]: counters are
     added by name (skipped entirely when both registries share one
     counter set — the values are already there), histogram datasets are
@@ -45,7 +45,15 @@ val merge : into:t -> t -> unit
     per-worker registry shards (see [Par.Shard]): folding shards in
     ascending worker order yields the same totals as a sequential run,
     because counter addition and histogram absorption are associative
-    and commutative. *)
+    and commutative.
+
+    [prefix] (default [""]) is prepended to every folded metric name:
+    the namespacing that lets N per-device registries fold into one
+    fleet registry without collisions — [stage/<n>/fault_hits] from two
+    devices merged under prefixes ["dev/a/"] and ["dev/b/"] stay
+    distinguishable instead of summing. With a non-empty prefix the
+    shared-counter-set skip does not apply (the prefixed names are new
+    names even in a shared set). *)
 
 val snapshot : t -> (string * string * value) list
 (** All metrics — every counter in the set, each gauge read now, each
