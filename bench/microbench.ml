@@ -294,6 +294,27 @@ let b16_fabric_forward =
          Net.Fabric.run fab;
          ignore (Net.Fabric.fate fab id)))
 
+(* B17: the full test-oracle pipeline on basic_router — path exploration,
+   adversarial witness hardening, per-path solving and expectation
+   derivation for all 8 paths. The absolute gate keeps path-covering
+   generation cheap enough to run per commit (the CI testgen smoke) and
+   at every deploy. *)
+let b17_testgen =
+  let rt = Runtime.create () in
+  let () =
+    match
+      Runtime.install_all Programs.basic_router.Programs.program rt
+        Programs.basic_router.Programs.entries
+    with
+    | Ok () -> ()
+    | Error e -> failwith e
+  in
+  Test.make ~name:"B17 testgen: path-covering vectors for basic_router"
+    (Staged.stage (fun () ->
+         ignore
+           (Symexec.Testgen.generate ~ingress_port:Netdebug.Harness.generator_port
+              Programs.basic_router.Programs.program rt)))
+
 (* B12: one full differential-oracle execution — interpreter, device via
    the generator/checker loop, coverage on both sides, verdict compare. *)
 let b12_fuzz_oracle =
@@ -333,6 +354,38 @@ let b13_rows () =
     ("netdebug/B13 fuzz campaign (2000 execs) wall-clock, jobs=4", Some (t4 *. 1e9), None);
   ]
 
+(* B6a: exact minor-heap allocation of one symbolic exploration, measured
+   with the Gc counters — bechamel's stabilized OLS reports ~0 words for
+   this op (see the committed baselines), so the allocation regression
+   gate needs its own row. Allocation per explore is deterministic;
+   averaging over the loop removes only the Gc.minor_words call itself.
+   The absolute gate pins the hashconsed-term/in-place-fork profile
+   (~5.5k words, down from 7.3k before interning) with headroom. *)
+let b6a_rows () =
+  let rt = Runtime.create () in
+  let () =
+    match
+      Runtime.install_all Programs.basic_router.Programs.program rt
+        Programs.basic_router.Programs.entries
+    with
+    | Ok () -> ()
+    | Error e -> failwith e
+  in
+  let explore () =
+    ignore (Symexec.Sexec.explore Programs.basic_router.Programs.program rt)
+  in
+  explore ();
+  (* warm: interner tables, solver side tables *)
+  let n = 200 in
+  let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    explore ()
+  done;
+  let words = (Gc.minor_words () -. w0) /. float_of_int n in
+  let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n in
+  [ ("netdebug/B6a symexec: explore minor words (Gc-counted)", Some ns, Some words) ]
+
 let tests =
   Test.make_grouped ~name:"netdebug"
     [
@@ -341,7 +394,7 @@ let tests =
       b11_device_forward_spans; b11b_device_forward_spans_sampled;
       b1c_device_forward_coverage; b2c_interp_forward_coverage; b12_fuzz_oracle;
       b14_device_forward_staged; b14c_device_forward_staged_coverage;
-      b15_device_forward_streamed; b16_fabric_forward;
+      b15_device_forward_streamed; b16_fabric_forward; b17_testgen;
     ]
 
 (* The match-structure rows are grouped apart because they need a different
@@ -456,6 +509,21 @@ let absolute_gates =
       1000.0,
       Some 0.5,
       "B5c 1M-prefix lookup" );
+    (* symexec allocation pin (ISSUE 9): interned terms + in-place forks
+       put one explore at ~5.5k minor words; 6500 is headroom, a revert
+       to the pre-interning profile (7.3k) trips it. The ns ceiling is
+       deliberately loose — the words number is the regression signal. *)
+    ( "netdebug/B6a symexec: explore minor words (Gc-counted)",
+      150_000.0,
+      Some 6_500.0,
+      "B6a explore allocation" );
+    (* the full oracle pipeline must stay cheap enough to run per commit:
+       8 paths well under 20 ms keeps `testgen --check` a sub-second CI
+       smoke even with the device sweep on top *)
+    ( "netdebug/B17 testgen: path-covering vectors for basic_router",
+      20_000_000.0,
+      None,
+      "B17 full testgen" );
   ]
 
 (* Evaluate every gate pair; returns false on any violation. [quiet]
@@ -578,7 +646,7 @@ let opt_min a b =
 
 let run ?json ?(check_overhead = false) () =
   Format.printf "@.==== Microbenchmarks (Bechamel) ====@.@.";
-  let bench_rows = measure_once () in
+  let bench_rows = measure_once () @ b6a_rows () in
   let bench_rows =
     if check_overhead && not (check_overhead_gate ~quiet:true bench_rows) then begin
       Format.printf

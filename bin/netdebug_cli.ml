@@ -11,6 +11,8 @@
      journey PROGRAM         stage-by-stage trace of one packet
      trace PROGRAM           run validation traffic, export per-packet spans
      metrics PROGRAM         run validation traffic, print Prometheus metrics
+     testgen PROGRAM         path-covering test vectors from symbolic execution,
+                             optionally checked against the deployed device
      soak PROGRAM            heavy background traffic + concurrent validation,
                              exit-code gated on the rolling health verdict
      serve PROGRAM           soak while serving /metrics and /health over HTTP
@@ -483,17 +485,39 @@ let metrics_cmd =
 
 (* ---------------- fuzz ---------------- *)
 
+(* a corpus directory: every *.bin file is one raw packet, in filename
+   order (testgen --emit-corpus writes 000.bin, 001.bin, ...) *)
+let read_corpus_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    or_die (Error (Printf.sprintf "%s: not a directory" dir));
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".bin")
+    |> List.sort compare
+  in
+  if files = [] then or_die (Error (Printf.sprintf "%s: no .bin files" dir));
+  List.map
+    (fun f ->
+      let ic = open_in_bin (Filename.concat dir f) in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Bitutil.Bitstring.of_string s)
+    files
+
 let fuzz_cmd =
-  let run name quirk_set quirks faithful budget seed jobs blind report_out pcap_out =
+  let run name quirk_set quirks faithful budget seed jobs blind seed_corpus report_out
+      pcap_out =
     let b = or_die (find_bundle name) in
     let quirks =
       match quirk_set with
       | Some q -> q
       | None -> Common_args.effective_quirks quirks faithful
     in
+    let seed_corpus = Option.map read_corpus_dir seed_corpus in
     let report =
-      (if blind then Fuzz.Campaign.run_blind else Fuzz.Campaign.run)
-        ~quirks ~jobs ~budget ~seed b
+      if blind then Fuzz.Campaign.run_blind ~quirks ~jobs ~budget ~seed b
+      else Fuzz.Campaign.run ~quirks ?seed_corpus ~jobs ~budget ~seed b
     in
     let text = Fuzz.Campaign.render report in
     print_string text;
@@ -558,6 +582,16 @@ let fuzz_cmd =
       & info [ "pcap" ] ~docv:"FILE"
           ~doc:"Write the minimized reproducers to a pcap capture.")
   in
+  let seed_corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed-corpus" ] ~docv:"DIR"
+          ~doc:
+            "Seed the corpus from the $(b,.bin) packets in $(docv) (as written by \
+             $(b,netdebug testgen --emit-corpus)) instead of the three built-in \
+             templates — a coverage-complete start for the campaign.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -566,7 +600,111 @@ let fuzz_cmd =
           quirk-attributed reproducers")
     Term.(
       const run $ program_arg $ quirk_set_arg $ Common_args.quirks $ Common_args.faithful
-      $ budget_arg $ seed_arg $ Common_args.jobs $ blind_arg $ report_arg $ pcap_arg)
+      $ budget_arg $ seed_arg $ Common_args.jobs $ blind_arg $ seed_corpus_arg
+      $ report_arg $ pcap_arg)
+
+(* ---------------- testgen ---------------- *)
+
+let testgen_cmd =
+  let run name quirk_set quirks faithful seed max_paths jobs emit_corpus check report_out
+      =
+    let b = or_die (find_bundle name) in
+    let quirks =
+      match quirk_set with
+      | Some q -> q
+      | None -> Common_args.effective_quirks quirks faithful
+    in
+    let rt = Usecases.Functional.oracle_runtime b in
+    let report =
+      Symexec.Testgen.generate ?seed ?max_paths ~jobs
+        ~ingress_port:Netdebug.Harness.generator_port b.Programs.program rt
+    in
+    let text = Symexec.Testgen.render report in
+    print_string text;
+    (match report_out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Format.eprintf "wrote %s@." path
+    | None -> ());
+    (match emit_corpus with
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i pkt ->
+            let path = Filename.concat dir (Printf.sprintf "%03d.bin" i) in
+            let oc = open_out_bin path in
+            output_string oc (Bitutil.Bitstring.to_string pkt);
+            close_out oc)
+          (Symexec.Testgen.packets report);
+        Format.eprintf "wrote %d vector(s) to %s@."
+          (List.length report.Symexec.Testgen.tg_vectors)
+          dir
+    | None -> ());
+    if check then begin
+      let h = Harness.deploy ~quirks b in
+      let pr = Usecases.Functional.check_paths ?seed ?max_paths ~jobs h in
+      Format.printf "%a@." Usecases.Functional.pp_paths pr;
+      if not (Usecases.Functional.paths_agree pr) then exit 1
+    end
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N" ~doc:"Per-path solver search seed.")
+  in
+  let max_paths_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-paths" ] ~docv:"N" ~doc:"Stop exploration after $(docv) paths.")
+  in
+  let quirk_set_arg =
+    Arg.(
+      value
+      & opt (some Common_args.quirk_set) None
+      & info [ "quirks" ] ~docv:"SPEC"
+          ~doc:
+            "Quirk set the $(b,--check) deployment compiles with: $(b,none), \
+             $(b,default), $(b,all) or a comma-separated list. Overrides \
+             $(b,--quirk)/$(b,--faithful).")
+  in
+  let emit_corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write the covering packets to $(docv)/000.bin, 001.bin, ... — a \
+             ready-made seed corpus for $(b,netdebug fuzz --seed-corpus).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also deploy the program (under $(b,--quirks)) and drive every vector \
+             through the device, comparing against the symbolic expectation. Exits \
+             non-zero if any path diverges, naming the first diverging path.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Also write the text report to this file.")
+  in
+  Cmd.v
+    (Cmd.info "testgen"
+       ~doc:
+         "Generate one covering packet per control-flow path of a program via \
+          symbolic execution, with the expected observation per packet; optionally \
+          check the deployed device against the oracle path by path")
+    Term.(
+      const run $ program_arg $ quirk_set_arg $ Common_args.quirks $ Common_args.faithful
+      $ seed_arg $ max_paths_arg $ Common_args.jobs $ emit_corpus_arg $ check_arg
+      $ report_arg)
 
 (* ---------------- soak ---------------- *)
 
@@ -1024,5 +1162,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; export_cmd; compile_cmd; verify_cmd; validate_cmd;
-            localize_cmd; journey_cmd; trace_cmd; metrics_cmd; fuzz_cmd; soak_cmd;
-            serve_cmd; monitor_cmd; net_cmd; usecases_cmd ]))
+            localize_cmd; journey_cmd; trace_cmd; metrics_cmd; testgen_cmd; fuzz_cmd;
+            soak_cmd; serve_cmd; monitor_cmd; net_cmd; usecases_cmd ]))

@@ -90,12 +90,11 @@ let shard_budgets budget =
   let q = budget / shards and r = budget mod shards in
   Array.init shards (fun i -> q + if i < r then 1 else 0)
 
-let make_shard ?quirks bundle ~prng ~id ~budget ~with_seeds =
+let make_shard ?quirks bundle ~prng ~id ~budget ~templates =
   let oracle = Oracle.create ?quirks bundle in
   let corpus = Corpus.create () in
   Registry.gauge (Oracle.metrics oracle) ~help:"inputs in the fuzzing corpus"
     "fuzz/corpus_size" (fun () -> float_of_int (Corpus.size corpus));
-  let templates = if with_seeds then seeds () else [] in
   List.iter (Corpus.add corpus) templates;
   let sh_have = Hashtbl.create 32 in
   List.iter (fun s -> Hashtbl.replace sh_have (Bitstring.to_hex s) ()) templates;
@@ -262,7 +261,7 @@ let finish ~mode ~seed ~budget states divergences corpus_size =
    zero-budget shards still consume their split so the streams never
    depend on the budget. Their oracles (a full deployment each) are only
    created for shards that will run. *)
-let make_states ?quirks bundle ~seed ~budget ~with_seeds =
+let make_states ?quirks bundle ~seed ~budget ~templates =
   let root = Prng.create seed in
   let streams = Array.make shards root in
   for id = 0 to shards - 1 do
@@ -273,18 +272,38 @@ let make_states ?quirks bundle ~seed ~budget ~with_seeds =
   for id = shards - 1 downto 0 do
     if budgets.(id) > 0 then
       states :=
-        make_shard ?quirks bundle ~prng:streams.(id) ~id ~budget:budgets.(id) ~with_seeds
+        make_shard ?quirks bundle ~prng:streams.(id) ~id ~budget:budgets.(id) ~templates
         :: !states
   done;
   Array.of_list !states
 
-let run ?quirks ?(jobs = 1) ~budget ~seed bundle =
+let run ?quirks ?seed_corpus ?(jobs = 1) ~budget ~seed bundle =
   if budget < 1 then invalid_arg "Fuzz.Campaign.run: budget must be positive";
   let layout = Mutate.layout_of bundle in
-  let active = make_states ?quirks bundle ~seed ~budget ~with_seeds:true in
+  (* [seed_corpus] swaps the generic templates for caller-supplied seeds
+     — typically symbolic-execution witnesses (Symexec.Testgen), which
+     start the campaign at full path coverage instead of making it
+     rediscover the paths by random mutation *)
+  let templates = match seed_corpus with Some c -> c | None -> seeds () in
+  if templates = [] then invalid_arg "Fuzz.Campaign.run: seed corpus must be non-empty";
+  let templates =
+    (* first occurrence wins: the pool and the per-shard corpora assume
+       distinct entries *)
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun t ->
+        let k = Bitstring.to_hex t in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      templates
+  in
+  let active = make_states ?quirks bundle ~seed ~budget ~templates in
   (* the shared pool starts as the seed templates, which every shard
      already holds; entries keep their global discovery order *)
-  let pool_entries = ref (seeds ()) in
+  let pool_entries = ref templates in
   let pool_keys = Hashtbl.create 64 in
   List.iter (fun s -> Hashtbl.replace pool_keys (Bitstring.to_hex s) ()) !pool_entries;
   let global_labels = ref [] in
@@ -337,7 +356,7 @@ let run ?quirks ?(jobs = 1) ~budget ~seed bundle =
 let run_blind ?quirks ?(jobs = 1) ~budget ~seed bundle =
   if budget < 1 then invalid_arg "Fuzz.Campaign.run_blind: budget must be positive";
   let layout = Mutate.layout_of bundle in
-  let active = make_states ?quirks bundle ~seed ~budget ~with_seeds:false in
+  let active = make_states ?quirks bundle ~seed ~budget ~templates:[] in
   let inputs = Array.of_list (Vectors.fuzz ~seed ~count:budget ()) in
   Par.Pool.with_pool ~jobs (fun pool_ ->
       ignore

@@ -44,6 +44,7 @@ type report = {
 
 val run :
   ?quirks:Sdnet.Quirks.t ->
+  ?seed_corpus:Bitutil.Bitstring.t list ->
   ?jobs:int ->
   budget:int ->
   seed:int ->
@@ -51,11 +52,17 @@ val run :
   report
 (** Coverage-guided campaign of exactly [budget] oracle executions (plus
     minimization replays, reported separately). [quirks] defaults to the
-    shipped toolchain ({!Sdnet.Quirks.default}). [jobs] (default 1) is
-    the number of worker domains executing the campaign's shards; it
-    affects wall-clock time only, never the report. Equal
-    (seed, budget) give bit-identical reports at any [jobs].
-    @raise Invalid_argument when [budget < 1]. *)
+    shipped toolchain ({!Sdnet.Quirks.default}). [seed_corpus] replaces
+    the three built-in well-formed templates as the initial corpus of
+    every shard (duplicates dropped, first occurrence wins) — pass
+    {!Symexec.Testgen.packets} to start the campaign coverage-complete
+    instead of making it rediscover the program's paths by random
+    mutation. [jobs] (default 1) is the number of worker domains
+    executing the campaign's shards; it affects wall-clock time only,
+    never the report. Equal (seed_corpus, seed, budget) give
+    bit-identical reports at any [jobs].
+    @raise Invalid_argument when [budget < 1] or [seed_corpus] is
+    empty. *)
 
 val run_blind :
   ?quirks:Sdnet.Quirks.t ->

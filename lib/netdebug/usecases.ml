@@ -8,6 +8,7 @@ module Runtime = P4ir.Runtime
 module Programs = P4ir.Programs
 module Dsl = P4ir.Dsl
 module Quirks = Sdnet.Quirks
+module Testgen = Symexec.Testgen
 module Compile = Sdnet.Compile
 module Config = Target.Config
 module Device = Target.Device
@@ -190,6 +191,138 @@ module Functional = struct
           Format.fprintf ppf "@\n  #%d expected %s, got %s" m.mm_index m.mm_expected
             m.mm_got)
       r.fr_mismatches
+
+  (* ---------------------------------------------------------------- *)
+  (* Per-path divergence check (symexec oracle vs device)              *)
+  (* ---------------------------------------------------------------- *)
+
+  type divergence = {
+    dv_path : int;
+    dv_descr : string;
+    dv_expected : string;
+    dv_got : string;
+  }
+
+  type path_report = {
+    pr_oracle : Testgen.report;
+    pr_checked : int;
+    pr_skipped : int;  (* state-dependent vectors not used as oracles *)
+    pr_divergences : divergence list;
+  }
+
+  let paths_agree r = r.pr_divergences = []
+  let first_divergence r = match r.pr_divergences with [] -> None | d :: _ -> Some d
+
+  (* one oracle vector through the generator/checker loop: program the
+     checker from the *symbolic* expectation (never the interpreter), fire
+     the generator, read the verdict *)
+  let check_path_vector (hw : Harness.t) (v : Testgen.vector) =
+    let ctl = hw.Harness.controller in
+    let* () = Controller.clear_test_state ctl in
+    let rules =
+      match v.Testgen.v_expected with
+      | Testgen.Forward port -> [ Controller.expect_port port ]
+      | Testgen.Drop _ -> [ never_forward_rule ]
+    in
+    let* () = Controller.configure_checker ctl rules in
+    let* () = Controller.configure_generator ctl [ Controller.stream v.Testgen.v_packet ] in
+    let* () = Controller.start_generator ctl in
+    let* summary = Controller.read_checker ctl in
+    let diverged got =
+      Some
+        {
+          dv_path = v.Testgen.v_path;
+          dv_descr = v.Testgen.v_descr;
+          dv_expected = Testgen.expected_str v.Testgen.v_expected;
+          dv_got = got;
+        }
+    in
+    match v.Testgen.v_expected with
+    | Testgen.Forward _ ->
+        if summary.Wire.cs_total_seen = 0 then diverged "packet never emitted"
+        else begin
+          let failing =
+            List.filter (fun rs -> rs.Wire.rs_failed > 0) summary.Wire.cs_rules
+          in
+          if failing = [] then None
+          else
+            let port =
+              match summary.Wire.cs_captures with
+              | c :: _ -> c.Wire.cap_port
+              | [] -> -1
+            in
+            diverged (Printf.sprintf "forwarded to port %d" port)
+        end
+    | Testgen.Drop _ ->
+        if summary.Wire.cs_total_seen = 0 then None
+        else
+          let port =
+            match summary.Wire.cs_captures with
+            | c :: _ -> c.Wire.cap_port
+            | [] -> -1
+          in
+          diverged (Printf.sprintf "forwarded to port %d" port)
+
+  let check_paths ?seed ?max_paths ?(jobs = 1) ?oracle (h : Harness.t) =
+    let oracle = match oracle with Some b -> b | None -> h.Harness.bundle in
+    let oracle_rt = oracle_runtime oracle in
+    let jobs = max 1 jobs in
+    let report =
+      Testgen.generate ?seed ?max_paths ~jobs ~ingress_port:Harness.generator_port
+        oracle.Programs.program oracle_rt
+    in
+    let usable, skipped =
+      List.partition (fun v -> not v.Testgen.v_state_dependent) report.Testgen.tg_vectors
+    in
+    let vecs = Array.of_list usable in
+    let results =
+      if jobs <= 1 || Array.length vecs < 2 then
+        Array.map
+          (fun v ->
+            P4ir.Regstate.reset (Device.registers h.Harness.device);
+            check_path_vector h v)
+          vecs
+      else
+        Par.Pool.with_pool ~jobs (fun pool ->
+            let shards =
+              Par.Shard.create pool (fun w -> if w = 0 then h else Harness.replicate h)
+            in
+            let out =
+              Par.Pool.map_chunks pool ~chunk:2
+                (fun ~worker _ v ->
+                  let hw = Par.Shard.get shards ~worker in
+                  P4ir.Regstate.reset (Device.registers hw.Harness.device);
+                  check_path_vector hw v)
+                vecs
+            in
+            Par.Shard.iter shards (fun w hw ->
+                if w > 0 then
+                  Telemetry.Registry.merge
+                    ~into:(Device.metrics h.Harness.device)
+                    (Device.metrics hw.Harness.device));
+            out)
+    in
+    (* results keep array order = ascending path id, so the head of the
+       divergence list is always the first diverging path *)
+    let divergences = List.filter_map Fun.id (Array.to_list results) in
+    {
+      pr_oracle = report;
+      pr_checked = Array.length vecs;
+      pr_skipped = List.length skipped;
+      pr_divergences = divergences;
+    }
+
+  let pp_paths ppf r =
+    let s = r.pr_oracle.Testgen.tg_stats in
+    Format.fprintf ppf "path check: %s@\n" r.pr_oracle.Testgen.tg_program;
+    Format.fprintf ppf "  paths: %d enumerated, %d solved, %d checked, %d skipped@\n"
+      s.Testgen.tg_paths s.Testgen.tg_solved r.pr_checked r.pr_skipped;
+    Format.fprintf ppf "  divergences: %d" (List.length r.pr_divergences);
+    List.iter
+      (fun d ->
+        Format.fprintf ppf "@\n  path %d diverged: expected %s, got %s@\n    %s"
+          d.dv_path d.dv_expected d.dv_got d.dv_descr)
+      r.pr_divergences
 end
 
 (* ------------------------------------------------------------------ *)

@@ -68,6 +68,52 @@ module Functional : sig
       Clears generator/checker state (and quiesces the device) first, so
       it can interleave with background traffic; device counters and
       histograms are preserved across calls. *)
+
+  type divergence = {
+    dv_path : int;  (** 1-based path index, in exploration order *)
+    dv_descr : string;  (** the path's descriptor, from the oracle *)
+    dv_expected : string;  (** what the symbolic oracle predicted *)
+    dv_got : string;  (** what the device did *)
+  }
+  (** One path where the device disagreed with the symbolic oracle. *)
+
+  type path_report = {
+    pr_oracle : Symexec.Testgen.report;
+        (** the generated vectors and coverage stats *)
+    pr_checked : int;  (** vectors driven through the device *)
+    pr_skipped : int;
+        (** state-dependent vectors skipped (their expectations are not
+            reliable oracles — see {!Symexec.Testgen.vector}) *)
+    pr_divergences : divergence list;
+        (** ascending path order: the head is always the {e first}
+            diverging path *)
+  }
+
+  val check_paths :
+    ?seed:int ->
+    ?max_paths:int ->
+    ?jobs:int ->
+    ?oracle:P4ir.Programs.bundle ->
+    Harness.t ->
+    path_report
+  (** Per-path symexec-vs-device divergence check: generate one covering
+      vector per satisfiable path of the oracle program
+      ({!Symexec.Testgen.generate}, pinned to the generator port), drive
+      each through the deployment, and compare the device's observation
+      against the path's {e symbolic} expectation. Unlike {!run}, the
+      reference interpreter is never consulted, and every divergence
+      names the control-flow path that exposed it. [jobs] parallelizes
+      both vector generation and the device sweep (replicated harnesses,
+      as in {!run}); the report is identical for every [jobs] value. *)
+
+  val paths_agree : path_report -> bool
+  (** True iff no checked path diverged. *)
+
+  val first_divergence : path_report -> divergence option
+  (** The lowest-numbered diverging path, if any. *)
+
+  val pp_paths : Format.formatter -> path_report -> unit
+  (** Coverage summary plus one block per divergence. *)
 end
 
 module Performance : sig

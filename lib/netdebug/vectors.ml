@@ -1,19 +1,15 @@
 module Bitstring = Bitutil.Bitstring
 module Prng = Bitutil.Prng
-module Sexec = Symexec.Sexec
-module Solver = Symexec.Solver
+module Testgen = Symexec.Testgen
 
 let from_paths ?seed ?(limit = 64) program runtime =
-  let run = Sexec.explore program runtime in
+  let report = Testgen.generate ?seed program runtime in
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []
-    | p :: rest -> (
-        match Solver.solve ?seed p.Sexec.p_conds with
-        | Solver.Sat model -> Sexec.witness_bits p model :: take (n - 1) rest
-        | Solver.Unsat | Solver.Unknown -> take n rest)
+    | b :: rest -> b :: take (n - 1) rest
   in
-  let bits = take limit run.Sexec.paths in
+  let bits = take limit (Testgen.packets report) in
   (* drop duplicates while keeping order *)
   let seen = Hashtbl.create 16 in
   List.filter

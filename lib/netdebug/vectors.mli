@@ -9,7 +9,9 @@
 val from_paths :
   ?seed:int -> ?limit:int -> P4ir.Ast.program -> P4ir.Runtime.t -> Bitutil.Bitstring.t list
 (** One concrete packet per satisfiable execution path, in exploration
-    order, capped at [limit] (default 64). *)
+    order, capped at [limit] (default 64). A thin wrapper over
+    {!Symexec.Testgen.generate} that keeps only the packets; use the
+    oracle directly when the expected observations are wanted too. *)
 
 val fuzz : ?seed:int -> count:int -> unit -> Bitutil.Bitstring.t list
 (** Random-but-plausible Ethernet/IPv4 traffic: random addresses, ports,

@@ -57,6 +57,9 @@ let copy_state s =
 exception Too_many_paths
 
 let explore ?(max_paths = 4096) (program : Ast.program) runtime =
+  (* fresh variables make cross-exploration sharing impossible, so the
+     intern table is scoped to this exploration *)
+  Sym.new_session ();
   let paths = ref [] in
   let obligations = ref [] in
   let truncated = ref false in
@@ -166,17 +169,20 @@ let explore ?(max_paths = 4096) (program : Ast.program) runtime =
 
   let dropped st = Sym.equal (get_std st Ast.Egress_spec) drop_value in
 
-  (* branch on a symbolic boolean; skips statically false branches *)
+  (* branch on a symbolic boolean; skips statically false branches. The
+     parent state is dead once both branches ran, so only the true branch
+     copies it — the false branch consumes it in place (callers always
+     fork in tail position and never touch [st] afterwards). *)
   let fork st cond on_true on_false =
     match Sym.is_const cond with
     | Some v -> if Value.to_bool v then on_true st else on_false st
     | None ->
         let st_t = copy_state st in
         st_t.conds <- cond :: st_t.conds;
+        let neg = Sym.not_ cond in
         on_true st_t;
-        let st_f = copy_state st in
-        st_f.conds <- Sym.not_ cond :: st_f.conds;
-        on_false st_f
+        st.conds <- neg :: st.conds;
+        on_false st
   in
 
   (* ---------------- controls ---------------- *)
@@ -240,7 +246,7 @@ let explore ?(max_paths = 4096) (program : Ast.program) runtime =
            history, which single-packet verification does not model *)
         (match Ast.find_register program reg with
         | Some r ->
-            assign st lv (Sym.fresh_var ~name:(Printf.sprintf "reg:%s" reg) ~width:r.Ast.r_width)
+            assign st lv (Sym.fresh_var ~name:("reg:" ^ reg) ~width:r.Ast.r_width)
         | None -> invalid_arg (Printf.sprintf "Sexec: register %s" reg));
         k st
     | Ast.RegWrite (_, _, _) -> k st
@@ -298,7 +304,8 @@ let explore ?(max_paths = 4096) (program : Ast.program) runtime =
           List.map
             (fun (fd : Ast.field_decl) ->
               let e =
-                Sym.fresh_var ~name:(Printf.sprintf "%s.%s" hname fd.Ast.f_name)
+                Sym.fresh_var
+                  ~name:(hname ^ "." ^ fd.Ast.f_name)
                   ~width:fd.Ast.f_width
               in
               Hashtbl.replace st.fields (hname, fd.Ast.f_name) e;
@@ -322,8 +329,8 @@ let explore ?(max_paths = 4096) (program : Ast.program) runtime =
       let ok = copy_state st in
       ok.checksum_assumed <- true;
       run_pipeline ok;
-      let bad = copy_state st in
-      finish bad (Rejected Stdmeta.error_checksum)
+      (* [st] is dead after this choice: finish it in place *)
+      finish st (Rejected Stdmeta.error_checksum)
     end
     else run_pipeline st
   in

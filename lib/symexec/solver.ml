@@ -168,11 +168,11 @@ let rec conjuncts (e : Sym.t) =
   | Sym.Bin (Ast.LAnd, a, b) -> conjuncts a @ conjuncts b
   | _ -> [ e ]
 
-let quick_unsat constraints =
-  let flat = List.concat_map conjuncts constraints in
-  (* phase 1: merge positive facts into known bits *)
+(* Merge every positive equality fact into per-variable known bits:
+   var id -> (mask of known bits, their values). [None] flags facts that
+   contradict each other (the constraint set is UNSAT). *)
+let known_bits flat =
   let known : (int, int64 * int64) Hashtbl.t = Hashtbl.create 8 in
-  (* var id -> (mask of known bits, their values) *)
   let contradiction = ref false in
   let add_fact (id, m, v) =
     let km, kv = match Hashtbl.find_opt known id with Some x -> x | None -> (0L, 0L) in
@@ -190,8 +190,14 @@ let quick_unsat constraints =
           | None -> ())
       | _ -> ())
     flat;
-  if !contradiction then true
-  else begin
+  if !contradiction then None else Some known
+
+let quick_unsat constraints =
+  let flat = List.concat_map conjuncts constraints in
+  (* phase 1: merge positive facts into known bits *)
+  match known_bits flat with
+  | None -> true
+  | Some known -> begin
     (* phase 2: is the truth of an equality shape determined by the known
        bits? *)
     let determined e c =
@@ -244,6 +250,27 @@ let solve ?(seed = 0x5EED) ?(max_tries = 20000) ?(use_mining = true) constraints
           let mask = if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L in
           List.iter (fun v -> Hashtbl.replace tbl (Int64.logand v mask) ()) [ 0L; 1L; -1L ])
         candidates;
+    (* bit-blasted mask solving: conjunctions of masked equality facts
+       about one variable (a select on [dst >> 16] plus an LPM entry on
+       [dst & mask]) are solved directly by merging their known bits and
+       synthesizing candidates that satisfy every fact at once, instead
+       of hoping the Cartesian walk combines the right per-literal
+       mines *)
+    if use_mining then begin
+      match known_bits (List.concat_map conjuncts constraints) with
+      | None -> ()
+      | Some known ->
+          Hashtbl.iter
+            (fun id (m, v) ->
+              match (Hashtbl.find_opt candidates id, Hashtbl.find_opt widths id) with
+              | Some tbl, Some w ->
+                  let fm = full_mask w in
+                  (* the unknown bits as zeros, and as ones *)
+                  Hashtbl.replace tbl (Int64.logand v fm) ();
+                  Hashtbl.replace tbl (Int64.logand (Int64.logor v (Int64.lognot m)) fm) ()
+              | _, _ -> ())
+            known
+    end;
     let var_ids = Hashtbl.fold (fun id _ acc -> id :: acc) widths [] |> List.sort compare in
     let cand_arrays =
       List.map

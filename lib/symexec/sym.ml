@@ -11,15 +11,139 @@ type t =
   | Slice of t * int * int
   | Concat of t * t
 
-let counter = ref 0
+(* ---------------- hash-consing ----------------
+
+   The smart constructors intern every node they build in a domain-local
+   table, so structurally equal subterms constructed during one symbolic
+   exploration share one heap node. A lookup compares candidate children
+   with physical equality: children built by the smart constructors are
+   themselves interned, so structural equality of a candidate collapses
+   to physical equality of its parts — the probe is a bucket scan that
+   allocates nothing on a hit. Fresh variables are globally unique and
+   never interned.
+
+   The table is scoped to one exploration: every exploration mints fresh
+   variables, so its terms can never be shared with the next one anyway.
+   {!new_session} (called by [Sexec.explore]) resets the table instead
+   of letting it grow without bound across explorations. Terms that
+   outlive a reset stay valid — they merely stop being shared with terms
+   built later, which is why {!equal} keeps a structural fallback. *)
+
+type itbl = { mutable buckets : t list array; mutable count : int }
+
+let dls_itbl : itbl Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { buckets = Array.make 1024 []; count = 0 })
+
+let new_session () =
+  let tbl = Domain.DLS.get dls_itbl in
+  Array.fill tbl.buckets 0 (Array.length tbl.buckets) [];
+  tbl.count <- 0
+
+let comb h x = (h * 31) + x
+
+(* structural, via a depth-limited [Hashtbl.hash_param]: deterministic
+   whether or not the children happen to be shared. The probe compares
+   candidates field-wise, so the hash only steers bucket placement — a
+   shallow traversal is plenty *)
+let hsub x = Hashtbl.hash_param 4 16 x
+let hash_node = function
+  | Const v -> comb 1 (Hashtbl.hash v)
+  | Var v -> comb 2 v.v_id
+  | Bin (op, a, b) ->
+      comb (comb (comb 3 (Hashtbl.hash op)) (hsub a)) (hsub b)
+  | Un (op, a) -> comb (comb 4 (Hashtbl.hash op)) (hsub a)
+  | Slice (a, msb, lsb) -> comb (comb (comb 5 (hsub a)) msb) lsb
+  | Concat (a, b) -> comb (comb 6 (hsub a)) (hsub b)
+
+let resize tbl =
+  let old = tbl.buckets in
+  let n = Array.length old * 2 in
+  let fresh = Array.make n [] in
+  Array.iter
+    (fun bucket ->
+      List.iter
+        (fun node ->
+          let i = hash_node node land (n - 1) in
+          fresh.(i) <- node :: fresh.(i))
+        bucket)
+    old;
+  tbl.buckets <- fresh
+
+let added tbl h node =
+  if tbl.count >= 2 * Array.length tbl.buckets then resize tbl;
+  let i = h land (Array.length tbl.buckets - 1) in
+  tbl.buckets.(i) <- node :: tbl.buckets.(i);
+  tbl.count <- tbl.count + 1;
+  node
+
+(* the constructors of [Ast.binop]/[Ast.unop] are all constant, hence
+   immediates: physical equality below is value equality *)
+
+let rec scan_const v = function
+  | [] -> raise_notrace Not_found
+  | (Const v' as n) :: _ when Value.equal v' v -> n
+  | _ :: rest -> scan_const v rest
+
+let rec scan_bin op a b = function
+  | [] -> raise_notrace Not_found
+  | (Bin (op', a', b') as n) :: _ when op' == op && a' == a && b' == b -> n
+  | _ :: rest -> scan_bin op a b rest
+
+let rec scan_un op a = function
+  | [] -> raise_notrace Not_found
+  | (Un (op', a') as n) :: _ when op' == op && a' == a -> n
+  | _ :: rest -> scan_un op a rest
+
+let rec scan_slice a msb lsb = function
+  | [] -> raise_notrace Not_found
+  | (Slice (a', msb', lsb') as n) :: _ when a' == a && msb' = msb && lsb' = lsb -> n
+  | _ :: rest -> scan_slice a msb lsb rest
+
+let rec scan_concat a b = function
+  | [] -> raise_notrace Not_found
+  | (Concat (a', b') as n) :: _ when a' == a && b' == b -> n
+  | _ :: rest -> scan_concat a b rest
+
+let intern_const v =
+  let tbl = Domain.DLS.get dls_itbl in
+  let h = comb 1 (Hashtbl.hash v) in
+  try scan_const v tbl.buckets.(h land (Array.length tbl.buckets - 1))
+  with Not_found -> added tbl h (Const v)
+
+let intern_bin op a b =
+  let tbl = Domain.DLS.get dls_itbl in
+  let h = comb (comb (comb 3 (Hashtbl.hash op)) (hsub a)) (hsub b) in
+  try scan_bin op a b tbl.buckets.(h land (Array.length tbl.buckets - 1))
+  with Not_found -> added tbl h (Bin (op, a, b))
+
+let intern_un op a =
+  let tbl = Domain.DLS.get dls_itbl in
+  let h = comb (comb 4 (Hashtbl.hash op)) (hsub a) in
+  try scan_un op a tbl.buckets.(h land (Array.length tbl.buckets - 1))
+  with Not_found -> added tbl h (Un (op, a))
+
+let intern_slice a msb lsb =
+  let tbl = Domain.DLS.get dls_itbl in
+  let h = comb (comb (comb 5 (hsub a)) msb) lsb in
+  try scan_slice a msb lsb tbl.buckets.(h land (Array.length tbl.buckets - 1))
+  with Not_found -> added tbl h (Slice (a, msb, lsb))
+
+let intern_concat a b =
+  let tbl = Domain.DLS.get dls_itbl in
+  let h = comb (comb 6 (hsub a)) (hsub b) in
+  try scan_concat a b tbl.buckets.(h land (Array.length tbl.buckets - 1))
+  with Not_found -> added tbl h (Concat (a, b))
+
+(* ---------------- construction ---------------- *)
+
+let counter = Atomic.make 0
 
 let fresh_var ~name ~width =
-  incr counter;
-  Var { v_id = !counter; v_name = name; v_width = width }
+  Var { v_id = 1 + Atomic.fetch_and_add counter 1; v_name = name; v_width = width }
 
-let const v = Const v
+let const v = intern_const v
 
-let of_int ~width i = Const (Value.of_int ~width i)
+let of_int ~width i = intern_const (Value.of_int ~width i)
 
 let rec width = function
   | Const v -> Value.width v
@@ -54,13 +178,13 @@ let apply_binop op (a : Value.t) (b : Value.t) =
   | Ast.LAnd -> Value.of_bool (Value.to_bool a && Value.to_bool b)
   | Ast.LOr -> Value.of_bool (Value.to_bool a || Value.to_bool b)
 
-let tru = Const Value.tru
+let tru = intern_const Value.tru
 
-let fls = Const Value.fls
+let fls = intern_const Value.fls
 
 let bin op a b =
   match (is_const a, is_const b) with
-  | Some va, Some vb -> Const (apply_binop op va vb)
+  | Some va, Some vb -> intern_const (apply_binop op va vb)
   | ca, cb -> (
       let zero v = match v with Some x -> Value.is_zero x | None -> false in
       let all_ones v =
@@ -72,7 +196,7 @@ let bin op a b =
       | Ast.Add when zero cb -> a
       | Ast.Add when zero ca -> b
       | Ast.Sub when zero cb -> a
-      | Ast.BAnd when zero ca || zero cb -> Const (Value.zero (width a))
+      | Ast.BAnd when zero ca || zero cb -> intern_const (Value.zero (width a))
       | Ast.BAnd when all_ones cb -> a
       | Ast.BAnd when all_ones ca -> b
       | Ast.BOr when zero cb -> a
@@ -85,30 +209,32 @@ let bin op a b =
       | Ast.LOr when zero ca -> b
       | Ast.LOr when zero cb -> a
       | Ast.LOr when ca = Some Value.tru || cb = Some Value.tru -> tru
-      | Ast.Eq when a = b -> tru
-      | Ast.Neq when a = b -> fls
+      | Ast.Eq when a == b || a = b -> tru
+      | Ast.Neq when a == b || a = b -> fls
       | Ast.Add | Ast.Sub | Ast.Mul | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr
       | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.LAnd | Ast.LOr ->
-          Bin (op, a, b))
+          intern_bin op a b)
 
 let un op a =
   match (op, is_const a) with
-  | Ast.BNot, Some v -> Const (Value.lognot v)
-  | Ast.LNot, Some v -> Const (Value.of_bool (not (Value.to_bool v)))
-  | Ast.LNot, None -> ( match a with Un (Ast.LNot, inner) -> inner | _ -> Un (op, a))
-  | Ast.BNot, None -> ( match a with Un (Ast.BNot, inner) -> inner | _ -> Un (op, a))
+  | Ast.BNot, Some v -> intern_const (Value.lognot v)
+  | Ast.LNot, Some v -> intern_const (Value.of_bool (not (Value.to_bool v)))
+  | Ast.LNot, None -> (
+      match a with Un (Ast.LNot, inner) -> inner | _ -> intern_un op a)
+  | Ast.BNot, None -> (
+      match a with Un (Ast.BNot, inner) -> inner | _ -> intern_un op a)
 
 let slice e ~msb ~lsb =
   if lsb = 0 && msb = width e - 1 then e
   else
     match is_const e with
-    | Some v -> Const (Value.slice v ~msb ~lsb)
-    | None -> Slice (e, msb, lsb)
+    | Some v -> intern_const (Value.slice v ~msb ~lsb)
+    | None -> intern_slice e msb lsb
 
 let concat a b =
   match (is_const a, is_const b) with
-  | Some va, Some vb -> Const (Value.concat va vb)
-  | _ -> Concat (a, b)
+  | Some va, Some vb -> intern_const (Value.concat va vb)
+  | _ -> intern_concat a b
 
 let not_ e = un Ast.LNot e
 
@@ -149,7 +275,9 @@ let rec eval lookup = function
   | Slice (a, msb, lsb) -> Value.slice (eval lookup a) ~msb ~lsb
   | Concat (a, b) -> Value.concat (eval lookup a) (eval lookup b)
 
-let equal = ( = )
+(* physical first — interned terms of one session hit it — with the
+   structural fallback for terms built across sessions or by hand *)
+let equal a b = a == b || a = b
 
 let binop_str (op : Ast.binop) =
   match op with

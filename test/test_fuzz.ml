@@ -105,6 +105,36 @@ let test_campaign_faithful_is_clean () =
   check_int "no divergences against a faithful device" 0
     (List.length r.Campaign.rp_divergences)
 
+let test_seed_corpus_reaches_guided_coverage () =
+  (* the oracle loop: a corpus of symbolic-execution covering vectors
+     must reach the guided campaign's edge count with zero random
+     discovery. Every shard holds the full corpus as pending seeds, so
+     budget = shards * |corpus| replays seeds only — no mutation ever
+     runs *)
+  let b = Programs.basic_router in
+  let rt = P4ir.Runtime.create () in
+  (match P4ir.Runtime.install_all b.Programs.program rt b.Programs.entries with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let corpus =
+    Symexec.Testgen.packets
+      (Symexec.Testgen.generate
+         ~ingress_port:Netdebug.Harness.generator_port b.Programs.program rt)
+  in
+  check_bool "corpus is path-covering" true (List.length corpus >= 8);
+  let budget = 8 * List.length corpus in
+  let seeded = Campaign.run ~seed_corpus:corpus ~budget ~seed:1 b in
+  let guided = Lazy.force guided in
+  check_bool
+    (Printf.sprintf "seeded (%d edges, %d execs) >= guided (%d edges, %d execs)"
+       seeded.Campaign.rp_edges seeded.Campaign.rp_executions guided.Campaign.rp_edges
+       guided.Campaign.rp_executions)
+    true
+    (seeded.Campaign.rp_edges >= guided.Campaign.rp_edges);
+  (* the hardened drop-path witnesses expose the reject quirk directly *)
+  check_bool "seed corpus alone finds a divergence" true
+    (List.length seeded.Campaign.rp_divergences >= 1)
+
 let test_guided_beats_blind () =
   let budget = 600 in
   let g = Campaign.run ~budget ~seed:1 Programs.basic_router in
@@ -206,6 +236,8 @@ let () =
           Alcotest.test_case "faithful device is clean" `Quick
             test_campaign_faithful_is_clean;
           Alcotest.test_case "guided beats blind" `Quick test_guided_beats_blind;
+          Alcotest.test_case "seed corpus reaches guided coverage" `Quick
+            test_seed_corpus_reaches_guided_coverage;
           Alcotest.test_case "jobs invariance" `Quick test_campaign_jobs_invariant;
           Alcotest.test_case "odd budgets" `Quick test_campaign_odd_budgets;
           Alcotest.test_case "zero budget rejected" `Quick

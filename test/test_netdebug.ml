@@ -526,6 +526,41 @@ let test_vectors_cover_paths () =
   check_bool "reject covered" true
     (List.exists (fun o -> String.length o >= 6 && String.sub o 0 6 = "parser") outcomes)
 
+(* check_paths: the per-path symexec-vs-device divergence check. The
+   shipped toolchain (reject compiled as accept) must diverge on a
+   parser-reject path — the hardened witnesses make the fallthrough
+   observable — and the fixed toolchain must agree on every path. *)
+let test_check_paths_flags_reject_quirk () =
+  let h = Harness.deploy Programs.basic_router in
+  let r = Usecases.Functional.check_paths h in
+  check_bool "all paths checked" true
+    (r.Usecases.Functional.pr_checked
+    = List.length r.Usecases.Functional.pr_oracle.Symexec.Testgen.tg_vectors);
+  check_bool "quirked toolchain diverges" false (Usecases.Functional.paths_agree r);
+  (match Usecases.Functional.first_divergence r with
+  | None -> Alcotest.fail "no first divergence reported"
+  | Some d ->
+      let descr = d.Usecases.Functional.dv_descr in
+      let contains sub =
+        let n = String.length sub and m = String.length descr in
+        let rec go i = i + n <= m && (String.sub descr i n = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool "first diverging path is a parser reject" true (contains "rejected(");
+      check_bool "device forwarded the rejected packet" true
+        (String.length d.Usecases.Functional.dv_got >= 9
+        && String.sub d.Usecases.Functional.dv_got 0 9 = "forwarded"));
+  (* the report is jobs-invariant *)
+  let render r = Format.asprintf "%a" Usecases.Functional.pp_paths r in
+  let h4 = Harness.deploy Programs.basic_router in
+  Alcotest.(check string) "jobs=4 report identical" (render r)
+    (render (Usecases.Functional.check_paths ~jobs:4 h4));
+  (* a faithful toolchain shows no divergence on any path *)
+  let hc = Harness.deploy ~quirks:Quirks.none Programs.basic_router in
+  let rc = Usecases.Functional.check_paths hc in
+  check_bool "clean toolchain agrees" true (Usecases.Functional.paths_agree rc);
+  check_int "nothing skipped on the router" 0 rc.Usecases.Functional.pr_skipped
+
 let () =
   Alcotest.run "netdebug"
     [
@@ -578,5 +613,7 @@ let () =
           Alcotest.test_case "comparison equivalent" `Slow test_comparison_equivalent_specs;
           Alcotest.test_case "comparison divergence" `Slow test_comparison_detects_divergence;
           Alcotest.test_case "vectors cover paths" `Quick test_vectors_cover_paths;
+          Alcotest.test_case "check_paths flags reject quirk" `Quick
+            test_check_paths_flags_reject_quirk;
         ] );
     ]

@@ -12,6 +12,7 @@ module Sym = Symexec.Sym
 module Solver = Symexec.Solver
 module Sexec = Symexec.Sexec
 module Check = Symexec.Check
+module Testgen = Symexec.Testgen
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -56,6 +57,24 @@ let test_sym_vars_dedup () =
   let x = Sym.fresh_var ~name:"x" ~width:8 in
   let e = Sym.bin Ast.Add x x in
   check_int "x counted once" 1 (List.length (Sym.vars e))
+
+let test_sym_interning () =
+  let x = Sym.fresh_var ~name:"x" ~width:8 in
+  (* structurally equal terms built through the smart constructors share
+     one allocation *)
+  let a = Sym.bin Ast.Add x (Sym.of_int ~width:8 3) in
+  let b = Sym.bin Ast.Add x (Sym.of_int ~width:8 3) in
+  check_bool "equal binops are physically shared" true (a == b);
+  check_bool "equal consts are physically shared" true
+    (Sym.of_int ~width:16 0x800 == Sym.of_int ~width:16 0x800);
+  let s1 = Sym.slice a ~msb:7 ~lsb:4 and s2 = Sym.slice a ~msb:7 ~lsb:4 in
+  check_bool "equal slices are physically shared" true (s1 == s2);
+  check_bool "different terms stay distinct" false
+    (Sym.bin Ast.Add x (Sym.of_int ~width:8 4) == a);
+  (* resetting the session drops the sharing but never the semantics *)
+  Sym.new_session ();
+  let c = Sym.bin Ast.Add x (Sym.of_int ~width:8 3) in
+  check_bool "post-reset terms still compare equal" true (Sym.equal a c)
 
 (* ---------------- Solver ---------------- *)
 
@@ -410,6 +429,70 @@ let test_invalid_header_read_detected () =
         (Check.verdict_to_string f.Check.f_verdict))
     [ Programs.basic_router; Programs.acl_firewall; Programs.mpls_tunnel ]
 
+(* ---------------- Testgen ---------------- *)
+
+let test_testgen_covers_router_paths () =
+  let program, rt = deploy Programs.basic_router in
+  let r = Testgen.generate program rt in
+  check_bool "coverage complete" true (Testgen.coverage_complete r);
+  check_int "eight paths" 8 r.Testgen.tg_stats.Testgen.tg_paths;
+  check_int "one vector per path" 8 (List.length r.Testgen.tg_vectors);
+  (* the expectations span all three observable fates *)
+  let expects = List.map (fun v -> v.Testgen.v_expected) r.Testgen.tg_vectors in
+  check_bool "forward expected somewhere" true
+    (List.exists (function Testgen.Forward _ -> true | _ -> false) expects);
+  check_bool "ingress drop expected somewhere" true (List.mem (Testgen.Drop "ingress") expects);
+  check_bool "parser reject expected somewhere" true
+    (List.mem (Testgen.Drop "parser:Reject") expects)
+
+let test_testgen_report_golden () =
+  let program, rt = deploy Programs.basic_router in
+  let ic = open_in "testgen_report.golden" in
+  let n = in_channel_length ic in
+  let golden = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check string) "report matches golden" golden
+    (Testgen.render (Testgen.generate program rt))
+
+(* the heart of the oracle: every emitted vector's expected observation is
+   derived from the symbolic path alone, so replaying the packet on the
+   reference interpreter — both engines — must reproduce it exactly, for
+   any solver seed, and the report must not depend on [jobs] *)
+let prop_testgen_oracle_matches_interp =
+  QCheck.Test.make ~count:10 ~name:"testgen expectations replay on both engines"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      List.for_all
+        (fun bundle ->
+          let program, rt = deploy bundle in
+          let r = Testgen.generate ~seed ~jobs:1 program rt in
+          let r4 = Testgen.generate ~seed ~jobs:4 program rt in
+          if not (String.equal (Testgen.render r) (Testgen.render r4)) then
+            QCheck.Test.fail_report "jobs=4 report differs from jobs=1";
+          List.for_all
+            (fun (v : Testgen.vector) ->
+              v.Testgen.v_state_dependent
+              || List.for_all
+                   (fun engine ->
+                     let got =
+                       (Interp.process ~engine program rt
+                          ~ingress_port:v.Testgen.v_ingress_port v.Testgen.v_packet)
+                         .Interp.result
+                     in
+                     let got_str =
+                       match got with
+                       | Interp.Forwarded (p, _) -> Printf.sprintf "forward to port %d" p
+                       | Interp.Dropped reason -> Printf.sprintf "drop (%s)" reason
+                     in
+                     String.equal (Testgen.expected_str v.Testgen.v_expected) got_str
+                     || QCheck.Test.fail_reportf "path %d: expected %s, interp says %s"
+                          v.Testgen.v_path
+                          (Testgen.expected_str v.Testgen.v_expected)
+                          got_str)
+                   [ `Staged; `Tree ])
+            r.Testgen.tg_vectors)
+        [ Programs.basic_router; Programs.acl_firewall; Programs.parser_guard ])
+
 let test_run_all_battery () =
   let program, rt = deploy Programs.basic_router in
   let findings = Check.run_all program rt in
@@ -426,6 +509,7 @@ let () =
           Alcotest.test_case "width" `Quick test_sym_width;
           Alcotest.test_case "eval" `Quick test_sym_eval;
           Alcotest.test_case "vars dedup" `Quick test_sym_vars_dedup;
+          Alcotest.test_case "interning" `Quick test_sym_interning;
         ] );
       ( "solver",
         [
@@ -459,5 +543,11 @@ let () =
           Alcotest.test_case "egress port bounded" `Quick test_egress_port_bounded;
           Alcotest.test_case "invalid header read" `Quick test_invalid_header_read_detected;
           Alcotest.test_case "run_all battery" `Quick test_run_all_battery;
+        ] );
+      ( "testgen",
+        [
+          Alcotest.test_case "covers router paths" `Quick test_testgen_covers_router_paths;
+          Alcotest.test_case "report golden" `Quick test_testgen_report_golden;
+          QCheck_alcotest.to_alcotest prop_testgen_oracle_matches_interp;
         ] );
     ]
