@@ -322,36 +322,93 @@ let b12_fuzz_oracle =
   Test.make ~name:"B12 fuzz: one differential-oracle execution"
     (Staged.stage (fun () -> ignore (Fuzz.Oracle.execute o routed_probe)))
 
-(* B13: wall-clock of one guided fuzz campaign, sequential vs 4 worker
-   domains, with the byte-identity of the two reports asserted. Not a
-   bechamel test: a campaign is a multi-hundred-millisecond operation and
-   the interesting number is wall-clock scaling, so it is timed directly
-   with Unix.gettimeofday — Sys.time would report CPU time summed across
-   domains and hide the speedup entirely. On a single-core host the two
-   timings are expected to be comparable; the identity check still bites. *)
+(* B12b: amortized cost of one oracle execution inside a batch of 64 —
+   the batched hot path (direct injection, staged raw render, one quiesce
+   per batch) that the fuzz campaign's shard windows ride. Gc-counted
+   like B6a so the allocation profile is a pinned regression signal; the
+   absolute gate enforces the <= 15 µs/exec acceptance floor. *)
+let b12b_rows () =
+  let o = Fuzz.Oracle.create Programs.basic_router in
+  let batch = Array.make 64 routed_probe in
+  ignore (Fuzz.Oracle.exec_batch o batch);
+  (* warm: staged render compile, coverage tables *)
+  let reps = 40 in
+  let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (Fuzz.Oracle.exec_batch o batch)
+  done;
+  let n = float_of_int (reps * Array.length batch) in
+  [
+    ( "netdebug/B12b fuzz: amortized batched-oracle execution (batch 64)",
+      Some ((Unix.gettimeofday () -. t0) *. 1e9 /. n),
+      Some ((Gc.minor_words () -. w0) /. n) );
+  ]
+
+(* B13: wall-clock of one guided fuzz campaign. Not a bechamel test: a
+   campaign is a multi-millisecond operation and the interesting numbers
+   are wall-clock scaling and throughput, so it is timed directly with
+   Unix.gettimeofday — Sys.time would report CPU time summed across
+   domains and hide the speedup entirely.
+
+   Two engines are exercised: the deterministic barrier engine only for
+   its byte-identity contract (jobs=4 report == jobs=1 report), and the
+   async sharded engine for the wall-clock rows CI's scaling gate reads.
+   Async rows are best-of-3 (minima only ever remove scheduler noise)
+   and carry the Gc-counted per-campaign allocation, so
+   minor_words_per_op is a real regression signal rather than null. *)
+let b13_budget = 10_000
+
 let b13_rows () =
-  let budget = 2000 and seed = 1 in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+  let seed = 1 in
+  let campaign ~deterministic ~jobs =
+    Fuzz.Campaign.run ~jobs ~deterministic ~budget:b13_budget ~seed
+      Programs.basic_router
   in
-  let r1, t1 =
-    time (fun () -> Fuzz.Campaign.run ~jobs:1 ~budget ~seed Programs.basic_router)
-  in
-  let r4, t4 =
-    time (fun () -> Fuzz.Campaign.run ~jobs:4 ~budget ~seed Programs.basic_router)
-  in
-  if not (String.equal (Fuzz.Campaign.render r1) (Fuzz.Campaign.render r4)) then begin
-    Format.eprintf "FAIL: B13 jobs=4 campaign report differs from jobs=1@.";
+  let d1 = campaign ~deterministic:true ~jobs:1 in
+  let d4 = campaign ~deterministic:true ~jobs:4 in
+  if not (String.equal (Fuzz.Campaign.render d1) (Fuzz.Campaign.render d4)) then begin
+    Format.eprintf "FAIL: B13 deterministic jobs=4 report differs from jobs=1@.";
     exit 1
   end;
+  let measure jobs =
+    let best_t = ref infinity and best_w = ref 0.0 and best_e = ref 1 in
+    for _ = 1 to 3 do
+      let w0 = Gc.minor_words () in
+      let r = campaign ~deterministic:false ~jobs in
+      let w = Gc.minor_words () -. w0 in
+      if r.Fuzz.Campaign.rp_wall_s < !best_t then begin
+        best_t := r.Fuzz.Campaign.rp_wall_s;
+        best_w := w;
+        best_e := max 1 r.Fuzz.Campaign.rp_total_executions
+      end
+    done;
+    (!best_t, !best_w, !best_e)
+  in
+  let t1, w1, e1 = measure 1 in
+  let t4, w4, e4 = measure 4 in
   Format.printf
-    "B13 campaign wall-clock: jobs=1 %.0f ms, jobs=4 %.0f ms (%.2fx); reports identical@."
-    (t1 *. 1e3) (t4 *. 1e3) (t1 /. t4);
+    "B13 async campaign (%d execs): jobs=1 %.0f ms (%.0f execs/s), jobs=4 %.0f ms \
+     (%.0f execs/s); deterministic reports identical@."
+    b13_budget (t1 *. 1e3)
+    (float_of_int e1 /. t1)
+    (t4 *. 1e3)
+    (float_of_int e4 /. t4);
   [
-    ("netdebug/B13 fuzz campaign (2000 execs) wall-clock, jobs=1", Some (t1 *. 1e9), None);
-    ("netdebug/B13 fuzz campaign (2000 execs) wall-clock, jobs=4", Some (t4 *. 1e9), None);
+    ( Printf.sprintf "netdebug/B13 fuzz campaign (%d execs) wall-clock, jobs=1, async"
+        b13_budget,
+      Some (t1 *. 1e9),
+      Some w1 );
+    ( Printf.sprintf "netdebug/B13 fuzz campaign (%d execs) wall-clock, jobs=4, async"
+        b13_budget,
+      Some (t4 *. 1e9),
+      Some w4 );
+    ( "netdebug/B13a fuzz campaign amortized per exec, jobs=1, async",
+      Some (t1 *. 1e9 /. float_of_int e1),
+      Some (w1 /. float_of_int e1) );
+    ( "netdebug/B13a fuzz campaign amortized per exec, jobs=4, async",
+      Some (t4 *. 1e9 /. float_of_int e4),
+      Some (w4 /. float_of_int e4) );
   ]
 
 (* B6a: exact minor-heap allocation of one symbolic exploration, measured
@@ -524,6 +581,16 @@ let absolute_gates =
       20_000_000.0,
       None,
       "B17 full testgen" );
+    (* batched-oracle amortized floor (ISSUE 10): one differential
+       execution inside a batch of 64 stays under 15 µs — about a third
+       of the per-exec management-protocol path (B12), and the budget the
+       async campaign's line-rate throughput is built on. Measured at
+       ~6 µs / ~700 minor words after the staged raw render; the words
+       ceiling pins that allocation profile with headroom. *)
+    ( "netdebug/B12b fuzz: amortized batched-oracle execution (batch 64)",
+      15_000.0,
+      Some 1_000.0,
+      "B12b batched oracle exec" );
   ]
 
 (* Evaluate every gate pair; returns false on any violation. [quiet]
@@ -532,7 +599,7 @@ let absolute_gates =
    evaluation on per-benchmark minima, since on a noisy 1-core host a
    single OLS estimate can swing tens of percent in either direction and
    min-of-two only ever removes noise, never a real regression). *)
-let check_overhead_gate ?(max_ratio = 1.10) ?(quiet = false) rows =
+let check_overhead_gate ?(max_ratio = 1.10) ?(quiet = false) ?(scaling = false) rows =
   let find name = List.find_opt (fun (n, _, _) -> String.equal n name) rows in
   let failed = ref false in
   List.iter
@@ -607,6 +674,61 @@ let check_overhead_gate ?(max_ratio = 1.10) ?(quiet = false) rows =
             Format.eprintf "FAIL: absolute gate needs a %s estimate in the results@." name;
           failed := true)
     absolute_gates;
+  (* B13 async scaling gates (evaluated only on the final row set, which
+     includes the campaign wall-clock rows). On a host with >= 4 cores,
+     async jobs=4 must cut wall-clock to <= 0.6x of jobs=1 — failing
+     that means the sharded engine stopped scaling. On narrower hosts
+     (the 1-core dev container) a parallel speedup is physically
+     impossible — four domains time-slice one core and synchronize every
+     minor GC — so the gate degrades to an anti-scaling guard: measured
+     ~1.5x there, 1.9 is headroom, and the pre-async barrier engine's
+     >2.1x would trip it. The throughput floor (>= 100k execs/s, i.e.
+     <= 10 µs amortized) applies to the best configuration the host can
+     actually scale to: jobs=4 with >= 4 cores, jobs=1 otherwise. *)
+  if scaling then begin
+    let cores = Domain.recommended_domain_count () in
+    let wall jobs =
+      Printf.sprintf "netdebug/B13 fuzz campaign (%d execs) wall-clock, jobs=%d, async"
+        b13_budget jobs
+    in
+    (match (find (wall 1), find (wall 4)) with
+    | Some (_, Some t1, _), Some (_, Some t4, _) when t1 > 0.0 ->
+        let ratio = t4 /. t1 in
+        let limit = if cores >= 4 then 0.6 else 1.9 in
+        if not quiet then
+          Format.printf "scaling gate: B13 async jobs=4/jobs=1 = %.3f (limit %.2f, %d core(s))@."
+            ratio limit cores;
+        if ratio > limit then begin
+          if not quiet then
+            Format.eprintf "FAIL: B13 async jobs=4 wall-clock is %.2fx jobs=1 (limit %.2fx)@."
+              ratio limit;
+          failed := true
+        end
+    | _ ->
+        if not quiet then
+          Format.eprintf "FAIL: scaling gate needs both B13 async wall-clock rows@.";
+        failed := true);
+    let floor_jobs = if cores >= 4 then 4 else 1 in
+    let floor_row =
+      Printf.sprintf "netdebug/B13a fuzz campaign amortized per exec, jobs=%d, async"
+        floor_jobs
+    in
+    match find floor_row with
+    | Some (_, Some ns, _) ->
+        if not quiet then
+          Format.printf "scaling gate: async jobs=%d = %.0f ns/exec (floor 10000, >= 100k execs/s)@."
+            floor_jobs ns;
+        if ns > 10_000.0 then begin
+          if not quiet then
+            Format.eprintf "FAIL: async jobs=%d runs at %.0f ns/exec — under 100k execs/s@."
+              floor_jobs ns;
+          failed := true
+        end
+    | _ ->
+        if not quiet then
+          Format.eprintf "FAIL: scaling gate needs the %s row@." floor_row;
+        failed := true
+  end;
   not !failed
 
 let measure_group cfg tests =
@@ -646,7 +768,7 @@ let opt_min a b =
 
 let run ?json ?(check_overhead = false) () =
   Format.printf "@.==== Microbenchmarks (Bechamel) ====@.@.";
-  let bench_rows = measure_once () @ b6a_rows () in
+  let bench_rows = measure_once () @ b6a_rows () @ b12b_rows () in
   let bench_rows =
     if check_overhead && not (check_overhead_gate ~quiet:true bench_rows) then begin
       Format.printf
@@ -670,4 +792,4 @@ let run ?json ?(check_overhead = false) () =
     rows;
   Format.printf "%s@." (Stats.Texttable.render table);
   (match json with None -> () | Some file -> write_json file rows);
-  if check_overhead && not (check_overhead_gate rows) then exit 1
+  if check_overhead && not (check_overhead_gate ~scaling:true rows) then exit 1

@@ -506,8 +506,8 @@ let read_corpus_dir dir =
     files
 
 let fuzz_cmd =
-  let run name quirk_set quirks faithful budget seed jobs blind seed_corpus report_out
-      pcap_out =
+  let run name quirk_set quirks faithful budget seed jobs blind deterministic
+      seed_corpus report_out pcap_out =
     let b = or_die (find_bundle name) in
     let quirks =
       match quirk_set with
@@ -517,10 +517,13 @@ let fuzz_cmd =
     let seed_corpus = Option.map read_corpus_dir seed_corpus in
     let report =
       if blind then Fuzz.Campaign.run_blind ~quirks ~jobs ~budget ~seed b
-      else Fuzz.Campaign.run ~quirks ?seed_corpus ~jobs ~budget ~seed b
+      else Fuzz.Campaign.run ~quirks ?seed_corpus ~jobs ~deterministic ~budget ~seed b
     in
     let text = Fuzz.Campaign.render report in
     print_string text;
+    (* stdout only, never the --report file: report files must stay
+       byte-comparable across hosts and jobs values *)
+    print_endline (Fuzz.Campaign.render_throughput report);
     (match report_out with
     | Some path ->
         let oc = open_out path in
@@ -569,6 +572,17 @@ let fuzz_cmd =
              $(b,Vectors.fuzz) traffic (the baseline the guided campaign is compared \
              against).")
   in
+  let deterministic_arg =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Run the barrier scheduling engine: the report is a pure function of \
+             (program, quirks, seed, budget) and renders byte-identically for every \
+             $(b,--jobs) value — what CI's golden-report comparison pins. Without \
+             this flag the campaign uses the barrier-free async engine, which \
+             scales with $(b,--jobs) while preserving the verdict set.")
+  in
   let report_arg =
     Arg.(
       value
@@ -595,13 +609,14 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Run a deterministic coverage-guided differential fuzzing campaign: spec \
-          interpreter vs the quirked compiled device, with minimized, \
-          quirk-attributed reproducers")
+         "Run a coverage-guided differential fuzzing campaign: spec interpreter vs \
+          the quirked compiled device, with minimized, quirk-attributed \
+          reproducers. Async sharded scheduling by default; \
+          $(b,--deterministic) pins the byte-reproducible barrier engine")
     Term.(
       const run $ program_arg $ quirk_set_arg $ Common_args.quirks $ Common_args.faithful
-      $ budget_arg $ seed_arg $ Common_args.jobs $ blind_arg $ seed_corpus_arg
-      $ report_arg $ pcap_arg)
+      $ budget_arg $ seed_arg $ Common_args.jobs $ blind_arg $ deterministic_arg
+      $ seed_corpus_arg $ report_arg $ pcap_arg)
 
 (* ---------------- testgen ---------------- *)
 

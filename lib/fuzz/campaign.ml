@@ -6,6 +6,7 @@ module Bitstring = Bitutil.Bitstring
 module Prng = Bitutil.Prng
 module Registry = Telemetry.Registry
 module Merge = Par.Merge
+module Epoch = Par.Epoch
 
 type divergence = {
   dv_fingerprint : string;
@@ -29,6 +30,12 @@ type report = {
   rp_edges : int;
   rp_corpus : int;
   rp_divergences : divergence list;  (** in discovery order *)
+  (* machine/schedule-dependent facts, deliberately excluded from render:
+     the report text stays a pure function of (program, quirks, seed,
+     budget) in deterministic mode *)
+  rp_jobs : int;
+  rp_deterministic : bool;
+  rp_wall_s : float;
 }
 
 (* Well-formed, program-agnostic starting points; everything malformed is
@@ -232,7 +239,7 @@ let resolve_divergences pool_ layout states sightings =
 (* campaign totals after phase 2: executions sum across shard oracles;
    edges are the union of per-shard coverage (shrink replays included,
    exactly like the sequential accounting that counted edges last) *)
-let finish ~mode ~seed ~budget states divergences corpus_size =
+let finish ~mode ~seed ~budget ~jobs ~deterministic ~wall states divergences corpus_size =
   let some = states.(0) in
   let union = Hashtbl.create 128 in
   Array.iter
@@ -253,6 +260,9 @@ let finish ~mode ~seed ~budget states divergences corpus_size =
     rp_edges = Hashtbl.length union;
     rp_corpus = corpus_size;
     rp_divergences = divergences;
+    rp_jobs = jobs;
+    rp_deterministic = deterministic;
+    rp_wall_s = wall;
   }
 
 (* Shard states for every shard with a non-zero budget slice. PRNG
@@ -277,7 +287,100 @@ let make_states ?quirks bundle ~seed ~budget ~templates =
   done;
   Array.of_list !states
 
-let run ?quirks ?seed_corpus ?(jobs = 1) ~budget ~seed bundle =
+(* The deterministic engine: barrier rounds, integrated by the
+   coordinator in ascending shard order, so the report is a pure
+   function of (program, quirks, seed, budget) at any jobs value. Each
+   shard's round runs inside one oracle batch window — the hot loop
+   never pays the per-execution management-protocol round trips. *)
+let run_rounds_barrier pool_ layout active ~templates =
+  (* the shared pool starts as the seed templates, which every shard
+     already holds; entries keep their global discovery order *)
+  let pool_entries = ref templates in
+  let pool_keys = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace pool_keys (Bitstring.to_hex s) ()) !pool_entries;
+  let global_labels = ref [] in
+  let label_keys = Hashtbl.create 128 in
+  while Array.exists (fun st -> st.sh_budget > 0) active do
+    let labels_snapshot = List.rev !global_labels in
+    let pool_snapshot = !pool_entries in
+    ignore
+      (Par.Pool.map_chunks pool_ ~chunk:1
+         (fun ~worker:_ _ st ->
+           distribute st ~global_labels:labels_snapshot ~pool:pool_snapshot;
+           if st.sh_budget > 0 then
+             Oracle.with_batch st.sh_oracle (fun () -> guided_round layout st))
+         active);
+    (* barrier: integrate publications in ascending shard order *)
+    Array.iter
+      (fun st ->
+        List.iter
+          (fun l ->
+            if not (Hashtbl.mem label_keys l) then begin
+              Hashtbl.replace label_keys l ();
+              global_labels := l :: !global_labels
+            end)
+          st.sh_new_labels;
+        List.iter
+          (fun entry ->
+            let key = Bitstring.to_hex entry in
+            if not (Hashtbl.mem pool_keys key) then begin
+              Hashtbl.replace pool_keys key ();
+              pool_entries := !pool_entries @ [ entry ]
+            end)
+          (List.rev st.sh_new_entries);
+        st.sh_new_labels <- [];
+        st.sh_new_entries <- [])
+      active
+  done;
+  List.length !pool_entries
+
+(* The asynchronous engine: static shard ownership (shard index mod
+   jobs), no barrier anywhere in the hot loop. Each worker runs its
+   shards' windows back to back; discoveries flow through two lock-free
+   {!Par.Epoch} channels — workers publish fresh coverage labels and
+   admitted corpus entries after each window and drain everyone else's
+   through private per-shard cursors before the next. Slow shards never
+   hold fast ones hostage, at the price of a schedule-dependent (but
+   order-insensitive: same verdict set) report. *)
+let run_rounds_async pool_ layout active ~templates =
+  let labels_ch = Epoch.create () in
+  let entries_ch = Epoch.create () in
+  let jobs = Par.Pool.jobs pool_ in
+  Par.Pool.run pool_ (fun w ->
+      let mine = ref [] in
+      Array.iteri
+        (fun i st ->
+          if i mod jobs = w then mine := (st, Epoch.cursor (), Epoch.cursor ()) :: !mine)
+        active;
+      let mine = List.rev !mine in
+      let progressed = ref true in
+      while !progressed do
+        progressed := false;
+        List.iter
+          (fun (st, lcur, ecur) ->
+            if st.sh_budget > 0 then begin
+              progressed := true;
+              distribute st ~global_labels:(Epoch.drain labels_ch lcur)
+                ~pool:(Epoch.drain entries_ch ecur);
+              Oracle.with_batch st.sh_oracle (fun () -> guided_round layout st);
+              Epoch.publish labels_ch st.sh_new_labels;
+              (* publications count as distributed-to-self: the next
+                 window's recompute must not publish them again *)
+              List.iter (fun l -> Hashtbl.replace st.sh_known l ()) st.sh_new_labels;
+              Epoch.publish entries_ch (List.rev st.sh_new_entries);
+              st.sh_new_labels <- [];
+              st.sh_new_entries <- []
+            end)
+          mine
+      done);
+  (* global corpus: the seed templates plus every distinct published
+     entry (two shards can admit the same input independently) *)
+  let keys = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace keys (Bitstring.to_hex s) ()) templates;
+  List.iter (fun e -> Hashtbl.replace keys (Bitstring.to_hex e) ()) (Epoch.all entries_ch);
+  Hashtbl.length keys
+
+let run ?quirks ?seed_corpus ?(jobs = 1) ?(deterministic = true) ~budget ~seed bundle =
   if budget < 1 then invalid_arg "Fuzz.Campaign.run: budget must be positive";
   let layout = Mutate.layout_of bundle in
   (* [seed_corpus] swaps the generic templates for caller-supplied seeds
@@ -300,52 +403,20 @@ let run ?quirks ?seed_corpus ?(jobs = 1) ~budget ~seed bundle =
         end)
       templates
   in
+  let t0 = Unix.gettimeofday () in
   let active = make_states ?quirks bundle ~seed ~budget ~templates in
-  (* the shared pool starts as the seed templates, which every shard
-     already holds; entries keep their global discovery order *)
-  let pool_entries = ref templates in
-  let pool_keys = Hashtbl.create 64 in
-  List.iter (fun s -> Hashtbl.replace pool_keys (Bitstring.to_hex s) ()) !pool_entries;
-  let global_labels = ref [] in
-  let label_keys = Hashtbl.create 128 in
   Par.Pool.with_pool ~jobs (fun pool_ ->
-      while Array.exists (fun st -> st.sh_budget > 0) active do
-        let labels_snapshot = List.rev !global_labels in
-        let pool_snapshot = !pool_entries in
-        ignore
-          (Par.Pool.map_chunks pool_ ~chunk:1
-             (fun ~worker:_ _ st ->
-               distribute st ~global_labels:labels_snapshot ~pool:pool_snapshot;
-               if st.sh_budget > 0 then guided_round layout st)
-             active);
-        (* barrier: integrate publications in ascending shard order *)
-        Array.iter
-          (fun st ->
-            List.iter
-              (fun l ->
-                if not (Hashtbl.mem label_keys l) then begin
-                  Hashtbl.replace label_keys l ();
-                  global_labels := l :: !global_labels
-                end)
-              st.sh_new_labels;
-            List.iter
-              (fun entry ->
-                let key = Bitstring.to_hex entry in
-                if not (Hashtbl.mem pool_keys key) then begin
-                  Hashtbl.replace pool_keys key ();
-                  pool_entries := !pool_entries @ [ entry ]
-                end)
-              (List.rev st.sh_new_entries);
-            st.sh_new_labels <- [];
-            st.sh_new_entries <- [])
-          active
-      done;
+      let corpus_size =
+        if deterministic then run_rounds_barrier pool_ layout active ~templates
+        else run_rounds_async pool_ layout active ~templates
+      in
       let sightings =
         Merge.concat (Array.map (fun st -> List.rev st.sh_sightings) active)
       in
       let divergences = resolve_divergences pool_ layout active sightings in
-      finish ~mode:"guided" ~seed ~budget active divergences
-        (List.length !pool_entries))
+      finish ~mode:"guided" ~seed ~budget ~jobs ~deterministic
+        ~wall:(Unix.gettimeofday () -. t0)
+        active divergences corpus_size)
 
 (* The blind baseline: the same oracle, coverage accounting and
    post-processing, driven by Vectors.fuzz's feedback-free traffic — the
@@ -356,13 +427,16 @@ let run ?quirks ?seed_corpus ?(jobs = 1) ~budget ~seed bundle =
 let run_blind ?quirks ?(jobs = 1) ~budget ~seed bundle =
   if budget < 1 then invalid_arg "Fuzz.Campaign.run_blind: budget must be positive";
   let layout = Mutate.layout_of bundle in
+  let t0 = Unix.gettimeofday () in
   let active = make_states ?quirks bundle ~seed ~budget ~templates:[] in
   let inputs = Array.of_list (Vectors.fuzz ~seed ~count:budget ()) in
   Par.Pool.with_pool ~jobs (fun pool_ ->
       ignore
         (Par.Pool.map_chunks pool_ ~chunk:1
            (fun ~worker:_ _ st ->
-             (* this shard's slice: inputs at positions = sh_id mod shards *)
+             (* this shard's slice: inputs at positions = sh_id mod shards,
+                driven through one batch window per shard *)
+             Oracle.with_batch st.sh_oracle @@ fun () ->
              let j = ref 0 in
              Array.iteri
                (fun k input ->
@@ -377,7 +451,9 @@ let run_blind ?quirks ?(jobs = 1) ~budget ~seed bundle =
         Merge.concat (Array.map (fun st -> List.rev st.sh_sightings) active)
       in
       let divergences = resolve_divergences pool_ layout active sightings in
-      finish ~mode:"blind" ~seed ~budget active divergences 0)
+      finish ~mode:"blind" ~seed ~budget ~jobs ~deterministic:true
+        ~wall:(Unix.gettimeofday () -. t0)
+        active divergences 0)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -409,5 +485,15 @@ let render r =
         (Bitstring.to_hex d.dv_repro))
     r.rp_divergences;
   Buffer.contents b
+
+(* Wall-clock throughput, deliberately NOT part of {!render}: the report
+   text stays golden-comparable while perf is still visible in CI logs. *)
+let render_throughput r =
+  let execs_s =
+    if r.rp_wall_s > 0. then float_of_int r.rp_total_executions /. r.rp_wall_s else 0.
+  in
+  Printf.sprintf "throughput: %d execs in %.3f s = %.0f execs/s (jobs %d, %s)"
+    r.rp_total_executions r.rp_wall_s execs_s r.rp_jobs
+    (if r.rp_deterministic then "deterministic" else "async")
 
 let pp ppf r = Format.pp_print_string ppf (render r)

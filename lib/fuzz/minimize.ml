@@ -14,6 +14,9 @@ let still oracle fingerprint candidate =
   | None -> false
 
 let minimize oracle (layout : Mutate.layout) ~fingerprint input =
+  (* every probe is a full oracle execution; run the whole shrink inside
+     one batch window so they take the direct device path *)
+  Oracle.with_batch oracle @@ fun () ->
   let cur = ref input in
   let len = ref (Bitstring.length input) in
   (* phase 1: tail truncation *)

@@ -39,7 +39,29 @@ val create : ?quirks:Sdnet.Quirks.t -> P4ir.Programs.bundle -> t
 
 val execute : t -> Bitutil.Bitstring.t -> exec
 (** One differential execution. Device registers are reset first so
-    executions are independent and reproducers replay faithfully. *)
+    executions are independent and reproducers replay faithfully.
+
+    Outside a batch window the device side runs the full management
+    protocol (stream configuration, generator start, checker read-back
+    through the wire codec) with a quiesce per execution. Inside
+    {!with_batch}/{!exec_batch} it takes the batched hot path: the same
+    generator-rendered bytes injected directly and judged from the
+    device's disposition, one quiesce per window — observably identical
+    verdicts, counters and coverage at a fraction of the cost. *)
+
+val with_batch : t -> (unit -> 'a) -> 'a
+(** [with_batch t f] opens a batch window around [f]: the mirror rule is
+    disarmed, every {!execute} inside takes the direct device path, and
+    on exit (exceptional or not) the device is quiesced once, the
+    emission ring drained and the mirror rule re-armed. Nested windows
+    collapse into the outermost one. *)
+
+val exec_batch : t -> Bitutil.Bitstring.t array -> exec array
+(** [exec_batch t inputs] drives the whole vector batch through one
+    batch window — one quiesce and telemetry flush for the batch instead
+    of one per execution. Results land at their input index.
+    [exec_batch t [| x |]] is observably identical to [execute t x]
+    (verdicts, counters, coverage). *)
 
 val attribute : t -> Bitutil.Bitstring.t -> Sdnet.Quirks.quirk list
 (** Which active quirks this diverging input implicates: quirk [q] is

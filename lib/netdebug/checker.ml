@@ -18,6 +18,7 @@ type t = {
   capture_limit : int;
   mutable rules : rule_state list;
   mutable total_seen : int;
+  mutable scratch : (Env.t * Exec.ctx) option;  (* reused rule-eval context *)
   mutable captures : Wire.capture list;  (* newest first, bounded *)
   lat : Stats.Histogram.t;
   rate : Stats.Rate.t;
@@ -44,9 +45,20 @@ let on_output t (out : Device.output) =
      forwarding hops) none of that is observable, so skip it and keep the
      tap at counter-and-histogram cost. *)
   if t.rules <> [] then begin
-  let env = Env.create t.program in
-  let runtime = P4ir.Runtime.create () in
-  let ctx = Exec.make_ctx ~env ~runtime () in
+  (* the full interpreter context the re-parse needs is kept and reset
+     between emissions rather than rebuilt — rule evaluation is pure
+     over the freshly parsed fields *)
+  let env, ctx =
+    match t.scratch with
+    | Some (env, ctx) ->
+        Env.reset env;
+        (env, ctx)
+    | None ->
+        let env = Env.create t.program in
+        let ctx = Exec.make_ctx ~env ~runtime:(P4ir.Runtime.create ()) () in
+        t.scratch <- Some (env, ctx);
+        (env, ctx)
+  in
   ignore (Parse.run ~hooks:check_parse_hooks ctx out.Device.o_bits);
   Env.set_std env Ast.Egress_spec (Value.of_int ~width:9 (out.Device.o_port land 0x1ff));
   let truthy e = Value.to_bool (Exec.eval ctx e) in
@@ -84,6 +96,7 @@ let create ?(capture_limit = 64) ~program device =
       capture_limit;
       rules = [];
       total_seen = 0;
+      scratch = None;
       captures = [];
       lat = Stats.Histogram.create ();
       rate = Stats.Rate.create ();

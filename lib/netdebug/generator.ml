@@ -8,12 +8,22 @@ module Device = Target.Device
 module Bitstring = Bitutil.Bitstring
 module Prng = Bitutil.Prng
 
+(* persistent render scratch: one env/ctx/builder reused across packets,
+   so a steady-state render allocates only the final wire copy *)
+type render_state = {
+  r_env : Env.t;
+  r_ctx : Exec.ctx;
+  r_builder : Bitstring.Builder.t;
+}
+
 type t = {
   program : Ast.program;
   device : Device.t;
   mutable streams : Wire.stream list;
   mutable sent : int;
   mutable dispositions : Device.disposition list;  (* newest first *)
+  mutable render : render_state option;  (* lazily allocated scratch *)
+  mutable raw : P4ir.Compilecore.inst option;  (* staged render, {!send_raw} *)
   c_sent : Stats.Counter.t;  (* cumulative, in the device registry *)
 }
 
@@ -24,6 +34,8 @@ let create ~program device =
     streams = [];
     sent = 0;
     dispositions = [];
+    render = None;
+    raw = None;
     c_sent =
       Telemetry.Registry.counter (Device.metrics device)
         ~help:"test packets the internal generator injected" "generator/sent";
@@ -52,11 +64,21 @@ let mutation_targets_checksum muts =
           String.equal h "ipv4" && String.equal f "checksum")
     muts
 
+let render_state t =
+  match t.render with
+  | Some rs -> rs
+  | None ->
+      let r_env = Env.create t.program in
+      let r_ctx = Exec.make_ctx ~env:r_env ~runtime:(P4ir.Runtime.create ()) () in
+      let rs = { r_env; r_ctx; r_builder = Bitstring.Builder.create ~capacity_bits:4096 () } in
+      t.render <- Some rs;
+      rs
+
 let render_packet t (stream : Wire.stream) prng index =
-  let env = Env.create t.program in
-  let runtime = P4ir.Runtime.create () in
-  let ctx = Exec.make_ctx ~env ~runtime () in
-  ignore (Parse.run ~hooks:gen_parse_hooks ctx stream.Wire.s_template);
+  let rs = render_state t in
+  let env = rs.r_env in
+  Env.reset env;
+  ignore (Parse.run ~hooks:gen_parse_hooks rs.r_ctx stream.Wire.s_template);
   List.iter
     (fun m ->
       match (m : Wire.mutation) with
@@ -81,7 +103,42 @@ let render_packet t (stream : Wire.stream) prng index =
     && stream.Wire.s_mutations <> []
     && not (mutation_targets_checksum stream.Wire.s_mutations)
   in
-  Deparse.run ~update_ipv4_checksum:update env
+  Deparse.run_into ~update_ipv4_checksum:update rs.r_builder env
+
+(* The raw path renders through the staged engine — parse + deparse
+   compiled once per generator (lazily: only batched validation pays the
+   compile), observationally identical to the tree render under the same
+   lenient hooks but with no steady-state allocation beyond the final
+   wire copy. The mutation path above keeps the tree engine: mutations
+   need general field assignment, which the staged form doesn't expose. *)
+let raw_inst t =
+  match t.raw with
+  | Some inst -> inst
+  | None ->
+      let cp =
+        P4ir.Compilecore.compile ~parse_hooks:gen_parse_hooks
+          ~update_ipv4_checksum:false t.program
+      in
+      let inst = P4ir.Compilecore.instantiate cp ~runtime:(P4ir.Runtime.create ()) in
+      t.raw <- Some inst;
+      inst
+
+(* The batched oracle's device-side shot: render [bits] exactly as a
+   mutation-free stream template hits the wire (parse, deparse, no
+   checksum refresh) and inject it back-to-back, bypassing the
+   management protocol. Increments the cumulative [generator/sent]
+   counter like any generated packet; does not touch the per-run
+   stream/disposition state, and leaves quiescing to the caller (one
+   per batch — see [Target.Device.inject_batch] and [Fuzz.Oracle]). *)
+let send_raw t bits =
+  let inst = raw_inst t in
+  P4ir.Compilecore.reset inst;
+  P4ir.Compilecore.run_parser inst bits;
+  let wire = P4ir.Compilecore.deparse inst in
+  let _, disposition = Device.inject t.device ~source:Device.Generator wire in
+  t.sent <- t.sent + 1;
+  Stats.Counter.incr t.c_sent;
+  disposition
 
 let start t =
   t.dispositions <- [];

@@ -26,6 +26,17 @@ val start : t -> unit
 (** Render and inject every configured packet, in virtual-time order
     across streams. *)
 
+val send_raw : t -> Bitutil.Bitstring.t -> Target.Device.disposition
+(** Single-shot raw injection for batched validation: render [bits] the
+    way a mutation-free stream template hits the wire (parse with the
+    generator's lenient hooks, deparse, no checksum refresh — all in
+    reused scratch, so steady state allocates only the wire copy) and
+    inject it back-to-back at the generator's injection point, skipping
+    stream configuration and the management protocol. Counts toward
+    {!packets_sent} and the cumulative [generator/sent] metric. The
+    caller owns quiescing, one per batch (see
+    {!Target.Device.inject_batch} and [Fuzz.Oracle]). *)
+
 val packets_sent : t -> int
 (** Total packets injected since creation (or the last {!clear}). *)
 

@@ -57,26 +57,16 @@ module Functional = struct
   let never_forward_rule =
     Controller.expect ~name:"unexpected-output" (Ast.Const Value.fls)
 
-  (* one vector through one deployment: interpret the spec, program the
-     checker from it, fire the generator, read the verdict back *)
-  let check_vector ?regs oracle oracle_rt (hw : Harness.t) i packet =
-    let ctl = hw.Harness.controller in
-    let spec =
-      (Interp.process ?regs oracle.Programs.program oracle_rt
-         ~ingress_port:Harness.generator_port packet)
-        .Interp.result
-    in
-    let* () = Controller.clear_test_state ctl in
-    let rules =
-      match spec with
-      | Interp.Forwarded (port, out_bits) ->
-          rules_for_expected oracle.Programs.program port out_bits
-      | Interp.Dropped _ -> [ never_forward_rule ]
-    in
-    let* () = Controller.configure_checker ctl rules in
-    let* () = Controller.configure_generator ctl [ Controller.stream packet ] in
-    let* () = Controller.start_generator ctl in
-    let* summary = Controller.read_checker ctl in
+  (* the spec's expected-output rules for one vector *)
+  let rules_for oracle spec =
+    match spec with
+    | Interp.Forwarded (port, out_bits) ->
+        rules_for_expected oracle.Programs.program port out_bits
+    | Interp.Dropped _ -> [ never_forward_rule ]
+
+  (* shared verdict: the spec expectation against the checker's summary,
+     identical for the management-protocol path and the batched one *)
+  let verdict_of spec i packet (summary : Wire.checker_summary) =
     let mismatch expected got =
       Some { mm_index = i; mm_packet = packet; mm_expected = expected; mm_got = got }
     in
@@ -107,6 +97,53 @@ module Functional = struct
             (Printf.sprintf "forwarded to port %d" port)
         else None
 
+  (* one vector through one deployment: interpret the spec, program the
+     checker from it, fire the generator, read the verdict back *)
+  let check_vector ?regs oracle oracle_rt (hw : Harness.t) i packet =
+    let ctl = hw.Harness.controller in
+    let spec =
+      (Interp.process ?regs oracle.Programs.program oracle_rt
+         ~ingress_port:Harness.generator_port packet)
+        .Interp.result
+    in
+    let* () = Controller.clear_test_state ctl in
+    let* () = Controller.configure_checker ctl (rules_for oracle spec) in
+    let* () = Controller.configure_generator ctl [ Controller.stream packet ] in
+    let* () = Controller.start_generator ctl in
+    let* summary = Controller.read_checker ctl in
+    verdict_of spec i packet summary
+
+  (* the same verdicts over the direct in-device handles: the spec
+     interpretation programs the checker in-process, the generator's raw
+     path injects (check taps fire synchronously on emission), and the
+     summary is read straight back — no management-protocol round trips
+     and one quiesce per batch instead of one per vector (DESIGN.md §15).
+     [base] offsets the reported indices; [reset_registers] zeroes the
+     device's register file before each vector (the sharded sweep's
+     independence contract). *)
+  let check_batch ?regs ?(reset_registers = false) ?(base = 0) oracle oracle_rt
+      (hw : Harness.t) packets =
+    let gen = Agent.generator hw.Harness.agent in
+    let chk = Agent.checker hw.Harness.agent in
+    let dev = hw.Harness.device in
+    let out =
+      Array.mapi
+        (fun k packet ->
+          if reset_registers then P4ir.Regstate.reset (Device.registers dev);
+          let spec =
+            (Interp.process ?regs oracle.Programs.program oracle_rt
+               ~ingress_port:Harness.generator_port packet)
+              .Interp.result
+          in
+          Checker.configure chk (rules_for oracle spec);
+          Checker.clear chk;
+          ignore (Generator.send_raw gen packet);
+          verdict_of spec (base + k) packet (Checker.summary chk))
+        packets
+    in
+    Device.quiesce dev;
+    out
+
   let oracle_runtime oracle =
     let rt = Runtime.create () in
     (match Runtime.install_all oracle.Programs.program rt oracle.Programs.entries with
@@ -115,9 +152,10 @@ module Functional = struct
     rt
 
   (* parallel sweep: shard the vector array over worker-owned harness
-     replicas. Every vector is independent (registers reset before each
-     one), so the per-vector verdict depends only on the vector — the
-     report is identical for any jobs >= 2 regardless of scheduling. *)
+     replicas, each worker validating its chunks through {!check_batch}.
+     Every vector is independent (registers reset before each one), so
+     the per-vector verdict depends only on the vector — the report is
+     identical for any jobs >= 2 regardless of scheduling. *)
   let run_sharded ~jobs oracle oracle_rt (h : Harness.t) vecs =
     Par.Pool.with_pool ~jobs (fun pool ->
         let shards =
@@ -125,14 +163,21 @@ module Functional = struct
               if w = 0 then (h, oracle_rt)
               else (Harness.replicate h, oracle_runtime oracle))
         in
-        let out =
-          Par.Pool.map_chunks pool ~chunk:8
-            (fun ~worker i packet ->
+        let n = Array.length vecs in
+        let batch = 8 in
+        let starts = Array.init ((n + batch - 1) / batch) (fun c -> c * batch) in
+        let pieces =
+          Par.Pool.map_chunks pool ~chunk:1
+            (fun ~worker _ start ->
               let hw, rtw = Par.Shard.get shards ~worker in
-              P4ir.Regstate.reset (Device.registers hw.Harness.device);
-              check_vector oracle rtw hw i packet)
-            vecs
+              check_batch ~reset_registers:true ~base:start oracle rtw hw
+                (Array.sub vecs start (min batch (n - start))))
+            starts
         in
+        let out = Array.make n None in
+        Array.iteri
+          (fun c piece -> Array.blit piece 0 out starts.(c) (Array.length piece))
+          pieces;
         (* fold worker telemetry back into the caller's device, ascending
            worker order (associative merges: order only for determinism) *)
         Par.Shard.iter shards (fun w (hw, _) ->
@@ -153,25 +198,12 @@ module Functional = struct
     in
     let vectors = vectors @ Vectors.fuzz ?seed:fuzz_seed ~count:fuzz () in
     let jobs = max 1 jobs in
-    if jobs > 1 && not stateful then begin
-      let vecs = Array.of_list vectors in
-      let results = run_sharded ~jobs oracle oracle_rt h vecs in
-      {
-        fr_tested = Array.length vecs;
-        fr_mismatches = List.filter_map Fun.id (Array.to_list results);
-      }
-    end
-    else begin
+    if stateful then begin
       (* stateful mode: thread one register store through the oracle and
          start the device's registers from a known (zero) state, so both
          sides see the same packet history — inherently sequential *)
-      let oracle_regs =
-        if stateful then begin
-          P4ir.Regstate.reset (Device.registers h.Harness.device);
-          Some (P4ir.Regstate.create oracle.Programs.program)
-        end
-        else None
-      in
+      P4ir.Regstate.reset (Device.registers h.Harness.device);
+      let oracle_regs = Some (P4ir.Regstate.create oracle.Programs.program) in
       let mismatches = ref [] in
       List.iteri
         (fun i packet ->
@@ -180,6 +212,17 @@ module Functional = struct
           | None -> ())
         vectors;
       { fr_tested = List.length vectors; fr_mismatches = List.rev !mismatches }
+    end
+    else begin
+      let vecs = Array.of_list vectors in
+      let results =
+        if jobs > 1 then run_sharded ~jobs oracle oracle_rt h vecs
+        else check_batch oracle oracle_rt h vecs
+      in
+      {
+        fr_tested = Array.length vecs;
+        fr_mismatches = List.filter_map Fun.id (Array.to_list results);
+      }
     end
 
   let pp ppf r =

@@ -69,6 +69,27 @@ module Functional : sig
       it can interleave with background traffic; device counters and
       histograms are preserved across calls. *)
 
+  val check_batch :
+    ?regs:P4ir.Regstate.t ->
+    ?reset_registers:bool ->
+    ?base:int ->
+    P4ir.Programs.bundle ->
+    P4ir.Runtime.t ->
+    Harness.t ->
+    Bitutil.Bitstring.t array ->
+    mismatch option array
+  (** Batched {!check_vector}: the same spec-programmed rules and verdict
+      logic per vector, but driven through the direct in-device handles —
+      the checker is configured in-process and the generator's raw path
+      injects each vector back-to-back, so the whole batch pays zero
+      management-protocol round trips and one device quiesce (at the
+      end) instead of one per vector. Verdicts land at their vector
+      index; [mm_index] is [base + index] (default [base = 0]).
+      [reset_registers] (default false) zeroes the device's register
+      file before each vector, as the sharded sweep requires. Used by
+      {!run}'s non-stateful paths and the soak loop's concurrent
+      validation (DESIGN.md §15). *)
+
   type divergence = {
     dv_path : int;  (** 1-based path index, in exploration order *)
     dv_descr : string;  (** the path's descriptor, from the oracle *)

@@ -177,20 +177,30 @@ let run ?(cfg = default_cfg) ?rules ?health ?sink ?on_window (h : Harness.t) =
       Counter.incr c_bg;
       incr injected
     done;
-    for _ = 1 to cfg.sk_validations_per_window do
-      let pkt = pool.(!vec_idx mod Array.length pool) in
-      incr vec_idx;
-      (match Functional.check_vector oracle oracle_rt h !vec_idx pkt with
-      | Some mm ->
-          Counter.incr c_drift;
-          if List.length !mismatches < 5 then
-            mismatches :=
-              Printf.sprintf "vector %d: expected %s, got %s" mm.Functional.mm_index
-                mm.Functional.mm_expected mm.Functional.mm_got
-              :: !mismatches
-      | None -> Counter.incr c_ok);
-      incr validated
-    done;
+    if cfg.sk_validations_per_window > 0 then begin
+      (* the window's validation burst as one batch: direct agent handles,
+         one quiesce — the verdicts are those of per-vector check_vector *)
+      let pkts =
+        Array.init cfg.sk_validations_per_window (fun k ->
+            pool.((!vec_idx + k) mod Array.length pool))
+      in
+      let verdicts =
+        Functional.check_batch ~base:(!vec_idx + 1) oracle oracle_rt h pkts
+      in
+      vec_idx := !vec_idx + Array.length pkts;
+      validated := !validated + Array.length pkts;
+      Array.iter
+        (function
+          | Some mm ->
+              Counter.incr c_drift;
+              if List.length !mismatches < 5 then
+                mismatches :=
+                  Printf.sprintf "vector %d: expected %s, got %s" mm.Functional.mm_index
+                    mm.Functional.mm_expected mm.Functional.mm_got
+                  :: !mismatches
+          | None -> Counter.incr c_ok)
+        verdicts
+    end;
     Profile.tick profile;
     let w = Sampler.sample sampler ~now_ns:(Device.now_ns device) in
     ignore (Health.observe health w);

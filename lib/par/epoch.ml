@@ -1,0 +1,53 @@
+(* Lock-free multi-producer discovery channel. Producers CAS-prepend
+   batches onto a shared list head; consumers snapshot the head and
+   replay only the suffix they have not absorbed yet. No mutex, no
+   barrier: a publish is one allocation plus a CAS retry loop, and a
+   snapshot with nothing new is a single atomic load. *)
+
+type 'a node = Nil | Cons of { len : int; batch : 'a list; tail : 'a node }
+
+type 'a t = 'a node Atomic.t
+
+type 'a cursor = { mutable last : 'a node }
+
+let create () = Atomic.make Nil
+
+let node_len = function Nil -> 0 | Cons { len; _ } -> len
+
+let publish t batch =
+  if batch <> [] then begin
+    let rec loop () =
+      let tail = Atomic.get t in
+      let node = Cons { len = node_len tail + List.length batch; batch; tail } in
+      if not (Atomic.compare_and_set t tail node) then loop ()
+    in
+    loop ()
+  end
+
+let count t = node_len (Atomic.get t)
+
+let cursor () = { last = Nil }
+
+let drain t cursor =
+  let head = Atomic.get t in
+  if head == cursor.last then []
+  else begin
+    let stop = cursor.last in
+    (* walking newest -> oldest while prepending each batch whole yields
+       publication order: oldest batch first, in-batch order preserved *)
+    let rec collect acc = function
+      | node when node == stop -> acc
+      | Nil -> acc
+      | Cons { batch; tail; _ } -> collect (batch @ acc) tail
+    in
+    let items = collect [] head in
+    cursor.last <- head;
+    items
+  end
+
+let all t =
+  let rec collect acc = function
+    | Nil -> acc
+    | Cons { batch; tail; _ } -> collect (batch @ acc) tail
+  in
+  collect [] (Atomic.get t)

@@ -850,6 +850,17 @@ let quiesce t =
   let horizon = Array.fold_left (fun acc f -> if f > acc then f else acc) t.pipe_free t.tx_free in
   advance_to_ns t horizon
 
+let inject_batch t ~source ?(reset_registers = false) pkts =
+  let n = Array.length pkts in
+  let out = Array.make n Dropped_queue in
+  for i = 0 to n - 1 do
+    if reset_registers then Regstate.reset t.regs;
+    let _, d = inject t ~source pkts.(i) in
+    out.(i) <- d
+  done;
+  quiesce t;
+  out
+
 let outputs t =
   let outs = List.rev t.outs_rev in
   t.outs_rev <- [];

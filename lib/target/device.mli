@@ -106,6 +106,23 @@ val advance_to_ns : t -> float -> unit
 (** Move the clock forward (never backward) and drain departed queue
     entries. Idempotent at a fixed timestamp. *)
 
+val inject_batch :
+  t ->
+  source:source ->
+  ?reset_registers:bool ->
+  Bitutil.Bitstring.t array ->
+  disposition array
+(** Drive a whole vector batch through the pipeline back-to-back with a
+    single {!quiesce} at the end instead of one per packet: the batched
+    hot path of the fuzz oracle and the soak loop. Each packet arrives
+    the moment the pipeline can accept it (as {!inject} with [at_ns]
+    omitted), so the clock self-advances and nothing queues.
+    [reset_registers] (default false) zeroes the persistent register
+    state before each packet, giving every vector the isolated-state
+    semantics of a fresh device at batch speed. Results land at their
+    input index. Check taps, coverage taps, counters and traces fire
+    exactly as they do for packet-at-a-time injection. *)
+
 val quiesce : t -> unit
 (** Advance the clock past every in-flight packet (pipeline entry bus and
     all TX serializers), draining the interface queues. Without this, a

@@ -410,6 +410,49 @@ let test_functional_detects_program_bug_with_oracle () =
          contains 0)
        r.Usecases.Functional.fr_mismatches)
 
+let test_check_batch_matches_check_vector () =
+  (* the batched validation path must reproduce check_vector's verdicts
+     index-for-index, on a quirky deployment so both mismatch and clean
+     verdicts appear in the batch *)
+  let vecs =
+    Array.of_list
+      (List.map P.serialize
+         [
+           P.udp_ipv4 ~dst:0x0A000001L ();
+           P.udp_ipv4 ~dst:0x08080808L ();
+           P.arp_request ();
+           P.udp_ipv4 ~dst:0x0A010203L ();
+         ]
+      @ Vectors.fuzz ~seed:11 ~count:12 ())
+  in
+  let oracle = Programs.parser_guard in
+  let ha = Harness.deploy ~quirks:Quirks.default Programs.parser_guard in
+  let rta = Usecases.Functional.oracle_runtime oracle in
+  let sequential =
+    Array.mapi (fun i v -> Usecases.Functional.check_vector oracle rta ha i v) vecs
+  in
+  let hb = Harness.deploy ~quirks:Quirks.default Programs.parser_guard in
+  let rtb = Usecases.Functional.oracle_runtime oracle in
+  let batched = Usecases.Functional.check_batch oracle rtb hb vecs in
+  check_int "same number of verdicts" (Array.length sequential) (Array.length batched);
+  check_bool "batch contains both verdict kinds" true
+    (Array.exists Option.is_some batched && Array.exists Option.is_none batched);
+  Array.iteri
+    (fun i sq ->
+      match (sq, batched.(i)) with
+      | None, None -> ()
+      | Some a, Some b ->
+          check_int "same index" a.Usecases.Functional.mm_index
+            b.Usecases.Functional.mm_index;
+          Alcotest.(check string)
+            "same expectation" a.Usecases.Functional.mm_expected
+            b.Usecases.Functional.mm_expected;
+          Alcotest.(check string)
+            "same observation" a.Usecases.Functional.mm_got
+            b.Usecases.Functional.mm_got
+      | _ -> Alcotest.failf "vector %d: verdicts disagree" i)
+    sequential
+
 let test_performance_sweep_shape () =
   let h = Harness.deploy Programs.basic_router in
   let probe = P.serialize (P.udp_ipv4 ~dst:0x0A000005L ~payload_bytes:1000 ()) in
@@ -605,6 +648,8 @@ let () =
             test_functional_detects_reject_quirk;
           Alcotest.test_case "functional detects program bug" `Quick
             test_functional_detects_program_bug_with_oracle;
+          Alcotest.test_case "check_batch matches check_vector" `Quick
+            test_check_batch_matches_check_vector;
           Alcotest.test_case "performance sweep shape" `Slow test_performance_sweep_shape;
           Alcotest.test_case "compiler check battery" `Slow test_compiler_check_battery;
           Alcotest.test_case "architecture probe" `Quick test_architecture_probe;

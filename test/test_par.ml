@@ -194,6 +194,62 @@ let test_replicate_is_equivalent_and_independent () =
        (fun t -> P4ir.Runtime.entry_count (Device.runtime h.Harness.device) t > 0)
        (P4ir.Runtime.tables (Device.runtime h.Harness.device)))
 
+(* ---------------- epoch channel ---------------- *)
+
+module Epoch = Par.Epoch
+
+let test_epoch_publish_drain () =
+  let t = Epoch.create () in
+  let c = Epoch.cursor () in
+  Alcotest.(check (list int)) "fresh channel drains empty" [] (Epoch.drain t c);
+  Epoch.publish t [ 1; 2; 3 ];
+  Epoch.publish t [];
+  Epoch.publish t [ 4 ];
+  Alcotest.(check (list int)) "publication order, in-batch order kept" [ 1; 2; 3; 4 ]
+    (Epoch.drain t c);
+  Alcotest.(check (list int)) "drained cursor sees nothing new" [] (Epoch.drain t c);
+  Epoch.publish t [ 5 ];
+  Alcotest.(check (list int)) "only the batch since the last drain" [ 5 ]
+    (Epoch.drain t c);
+  check_int "count is the total ever published" 5 (Epoch.count t);
+  Alcotest.(check (list int)) "all replays the whole log" [ 1; 2; 3; 4; 5 ] (Epoch.all t)
+
+let test_epoch_cursor_isolation () =
+  let t = Epoch.create () in
+  let a = Epoch.cursor () and b = Epoch.cursor () in
+  Epoch.publish t [ 10; 11 ];
+  Alcotest.(check (list int)) "a sees the first batch" [ 10; 11 ] (Epoch.drain t a);
+  Epoch.publish t [ 12 ];
+  Alcotest.(check (list int)) "b independently sees everything" [ 10; 11; 12 ]
+    (Epoch.drain t b);
+  Alcotest.(check (list int)) "a sees only the tail" [ 12 ] (Epoch.drain t a)
+
+let test_epoch_concurrent_publish () =
+  (* the async campaign's contract: concurrent single-item publishes from
+     several domains lose nothing, duplicate nothing, and keep each
+     producer's own order inside the interleaving *)
+  let t = Epoch.create () in
+  let n_dom = 4 and per = 500 in
+  let doms =
+    List.init n_dom (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Epoch.publish t [ (d * per) + i ]
+            done))
+  in
+  List.iter Domain.join doms;
+  check_int "every publish landed" (n_dom * per) (Epoch.count t);
+  let drained = Epoch.all t in
+  check_int "no losses" (n_dom * per) (List.length drained);
+  check_int "no duplicates" (n_dom * per) (List.length (List.sort_uniq compare drained));
+  List.iter
+    (fun d ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "producer %d order preserved" d)
+        (List.init per (fun i -> (d * per) + i))
+        (List.filter (fun x -> x / per = d) drained))
+    (List.init n_dom Fun.id)
+
 let () =
   Alcotest.run "par"
     [
@@ -207,6 +263,12 @@ let () =
           Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
         ] );
       ("shard", [ Alcotest.test_case "init once per worker" `Quick test_shard_init_once_per_worker ]);
+      ( "epoch",
+        [
+          Alcotest.test_case "publish/drain order" `Quick test_epoch_publish_drain;
+          Alcotest.test_case "cursor isolation" `Quick test_epoch_cursor_isolation;
+          Alcotest.test_case "concurrent publish" `Quick test_epoch_concurrent_publish;
+        ] );
       ("merge", [ Alcotest.test_case "helpers" `Quick test_merge_helpers ]);
       ( "functional",
         [

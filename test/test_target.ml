@@ -80,6 +80,60 @@ let test_device_external_outputs () =
   check_int "two packets out" 2 (List.length outs);
   check_int "drained" 0 (List.length (Device.outputs d))
 
+let test_inject_batch_matches_inject () =
+  (* the batched hot path is packet-at-a-time injection minus the
+     per-packet quiesce: dispositions must agree index-for-index *)
+  let a = build Programs.basic_router in
+  let b = build Programs.basic_router in
+  let pkts =
+    Array.of_list (List.map udp [ 0x0A010203L; 0x0A000001L; 0x08080808L; 0xC0A80001L ])
+  in
+  let batched = Device.inject_batch a ~source:(Device.External 0) pkts in
+  let sequential =
+    Array.map (fun p -> snd (Device.inject b ~source:(Device.External 0) p)) pkts
+  in
+  Device.quiesce b;
+  Array.iteri
+    (fun i got ->
+      let same =
+        match (got, sequential.(i)) with
+        | Device.Emitted x, Device.Emitted y ->
+            x.Device.o_port = y.Device.o_port
+            && Bitstring.equal x.Device.o_bits y.Device.o_bits
+        | Device.Dropped_pipeline x, Device.Dropped_pipeline y -> x = y
+        | Device.Dropped_queue, Device.Dropped_queue -> true
+        | _ -> false
+      in
+      check_bool (Printf.sprintf "packet %d disposition matches" i) true same)
+    batched
+
+let test_inject_batch_register_reset () =
+  (* rate_limiter: port 0's budget is 3 packets. A plain batch shares the
+     register file across the batch; reset_registers isolates every
+     vector as if each ran on a fresh device *)
+  let routed = udp 0x0A000005L in
+  let fate = function
+    | Device.Emitted _ -> `Fwd
+    | Device.Dropped_pipeline _ -> `Drop
+    | _ -> `Other
+  in
+  let plain =
+    Device.inject_batch (build Programs.rate_limiter) ~source:(Device.External 0)
+      (Array.make 6 routed)
+  in
+  Alcotest.(check (list (of_pp Fmt.nop)))
+    "budget persists across the batch"
+    [ `Fwd; `Fwd; `Fwd; `Drop; `Drop; `Drop ]
+    (Array.to_list (Array.map fate plain));
+  let isolated =
+    Device.inject_batch (build Programs.rate_limiter) ~source:(Device.External 0)
+      ~reset_registers:true (Array.make 6 routed)
+  in
+  Alcotest.(check (list (of_pp Fmt.nop)))
+    "reset_registers isolates every vector"
+    [ `Fwd; `Fwd; `Fwd; `Fwd; `Fwd; `Fwd ]
+    (Array.to_list (Array.map fate isolated))
+
 (* interpreter/device equivalence with a faithful compiler *)
 let equivalence_property bundle =
   QCheck.Test.make ~count:150
@@ -404,6 +458,10 @@ let () =
           Alcotest.test_case "forwards like spec" `Quick test_device_forwards_like_spec;
           Alcotest.test_case "drop dispositions" `Quick test_device_drop_dispositions;
           Alcotest.test_case "external outputs" `Quick test_device_external_outputs;
+          Alcotest.test_case "inject_batch matches inject" `Quick
+            test_inject_batch_matches_inject;
+          Alcotest.test_case "inject_batch register reset" `Quick
+            test_inject_batch_register_reset;
           QCheck_alcotest.to_alcotest prop_equiv_router;
           QCheck_alcotest.to_alcotest prop_equiv_split;
           QCheck_alcotest.to_alcotest prop_equiv_guard;
